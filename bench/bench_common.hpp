@@ -1,0 +1,71 @@
+// Shared measurement helpers for the table/figure benches: build the four
+// Table 2 FIFO implementations and measure cycle time / energy / area /
+// testability with the event-driven simulator.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bm/burstmode.hpp"
+#include "dft/faultsim.hpp"
+#include "flow/rtflow.hpp"
+#include "sim/stgenv.hpp"
+#include "stg/builders.hpp"
+#include "synth/pulse.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rtcad::bench {
+
+struct FifoMeasurement {
+  std::string name;
+  double worst_ps = 0;
+  double avg_ps = 0;
+  double energy_pj = 0;  ///< per complete four-phase cycle
+  int transistors = 0;
+  double testability = 0;  ///< stuck-at coverage
+  std::size_t constraints = 0;
+};
+
+/// Drive `netlist` with `spec`'s protocol for `sim_ns`, with randomized
+/// environment and per-gate variation, and collect Table 2's columns.
+inline FifoMeasurement measure_fifo(const std::string& name,
+                                    const Netlist& netlist, const Stg& spec,
+                                    double env_min_ps, double env_max_ps) {
+  FifoMeasurement m;
+  m.name = name;
+  m.transistors = netlist.transistor_count();
+
+  SimOptions sopts;
+  sopts.variation = 0.15;
+  sopts.seed = 11;
+  Simulator sim(netlist, sopts);
+  StgEnvOptions eopts;
+  eopts.input_delay_min_ps = env_min_ps;
+  eopts.input_delay_max_ps = env_max_ps;
+  eopts.seed = 17;
+  StgEnvironment env(spec, sim, eopts);
+  env.start();
+  sim.run(400000.0);
+  if (!env.conforms()) {
+    std::fprintf(stderr, "measure_fifo(%s): %s\n", name.c_str(),
+                 env.violations().front().what.c_str());
+  }
+  RTCAD_EXPECTS(env.conforms());
+  const CycleStats stats = cycle_stats(env.cycle_times());
+  if (stats.count <= 10)
+    std::fprintf(stderr, "measure_fifo(%s): only %ld cycles (deadlocked=%d)\n",
+                 name.c_str(), stats.count, (int)env.deadlocked());
+  RTCAD_EXPECTS(stats.count > 10);
+  m.worst_ps = stats.worst_ps;
+  m.avg_ps = stats.avg_ps;
+  m.energy_pj =
+      sim.energy_fj() / 1000.0 / static_cast<double>(env.cycles());
+
+  FaultSimOptions fopts;
+  fopts.env = eopts;
+  m.testability = fault_simulate(netlist, spec, fopts).coverage();
+  return m;
+}
+
+}  // namespace rtcad::bench

@@ -1,0 +1,28 @@
+// Export a specification and its state graph as Graphviz dot files for
+// inspection: ./export_dot [spec.g] [out_prefix]
+#include <cstdio>
+#include <fstream>
+
+#include "sg/dot.hpp"
+#include "stg/builders.hpp"
+#include "stg/parse.hpp"
+
+using namespace rtcad;
+
+int main(int argc, char** argv) {
+  const Stg spec = argc > 1 ? parse_stg_file(argv[1]) : fifo_csc_stg();
+  const std::string prefix = argc > 2 ? argv[2] : spec.name();
+
+  const std::string stg_path = prefix + "_stg.dot";
+  const std::string sg_path = prefix + "_sg.dot";
+  std::ofstream(stg_path) << stg_to_dot(spec);
+  const StateGraph sg = StateGraph::build(spec);
+  std::ofstream(sg_path) << sg_to_dot(sg);
+
+  std::printf("wrote %s (%d transitions, %d places)\n", stg_path.c_str(),
+              spec.num_transitions(), spec.num_places());
+  std::printf("wrote %s (%d states, %d edges)\n", sg_path.c_str(),
+              sg.num_states(), sg.num_edges());
+  std::puts("render with: dot -Tpng <file> -o out.png");
+  return 0;
+}

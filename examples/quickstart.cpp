@@ -1,0 +1,39 @@
+// Quickstart: parse an STG in the `.g` interchange format, run the
+// relative-timing synthesis flow, print the circuit and its required
+// timing constraints.
+//
+//   $ ./quickstart [spec.g]
+//
+// Without an argument, the paper's FIFO controller is used.
+#include <cstdio>
+
+#include "flow/rtflow.hpp"
+#include "stg/builders.hpp"
+#include "stg/parse.hpp"
+
+using namespace rtcad;
+
+int main(int argc, char** argv) {
+  Stg spec = argc > 1 ? parse_stg_file(argv[1]) : fifo_csc_stg();
+  std::printf("specification:\n%s\n", write_stg(spec).c_str());
+
+  FlowOptions opts;
+  opts.mode = FlowMode::kRelativeTiming;
+  try {
+    const FlowResult r = run_flow(spec, opts);
+    for (const auto& s : r.stages)
+      std::printf("[%s] %s\n", s.name.c_str(), s.detail.c_str());
+    std::printf("\ncircuit:\n%s", r.netlist().to_text().c_str());
+    std::puts("\nequations:");
+    for (const auto& [name, eq] : r.rt->equations)
+      std::printf("  %s\n", eq.c_str());
+    std::puts("\nrequired relative-timing constraints:");
+    for (const auto& c : r.rt->constraints)
+      std::printf("  %s [%s]\n", to_string(r.spec, c).c_str(),
+                  to_string(c.origin));
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "flow failed: %s\n", e.what());
+    return 1;
+  }
+}

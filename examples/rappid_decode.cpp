@@ -1,0 +1,45 @@
+// Run the RAPPID microarchitecture model on an instruction stream and
+// compare with the 400 MHz clocked decoder.
+//
+//   $ ./rappid_decode [lines] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "rappid/rappid.hpp"
+
+using namespace rtcad;
+
+int main(int argc, char** argv) {
+  const long lines = argc > 1 ? std::atol(argv[1]) : 20000;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  const InstructionMix mix;
+  std::printf("decoding %ld cache lines (avg instruction %.2f bytes)...\n\n",
+              lines, mix.average_length());
+
+  const RappidStats r = simulate_rappid({}, mix, lines, seed);
+  std::printf("RAPPID : %ld instructions in %.1f us\n", r.instructions,
+              r.total_ps / 1e6);
+  std::printf("         %.2f instructions/ns, %.0fM lines/s\n", r.gips,
+              r.lines_per_sec / 1e6);
+  std::printf("         cycles: tag %.2f GHz | steer %.2f GHz | decode "
+              "%.2f GHz\n",
+              r.tag_freq_ghz, r.steer_freq_ghz, r.decode_freq_ghz);
+  std::printf("         latency %.2f ns loaded / %.2f ns unloaded, %.3f W\n\n",
+              r.avg_latency_ps / 1000, r.first_latency_ps / 1000, r.watts);
+
+  const ClockedStats c = simulate_clocked({}, mix, lines, seed);
+  std::printf("clocked: %ld instructions in %ld cycles (%.1f us)\n",
+              c.instructions, c.cycles, c.total_ps / 1e6);
+  std::printf("         %.2f instructions/ns, latency %.2f ns, %.3f W\n\n",
+              c.gips, c.avg_latency_ps / 1000, c.watts);
+
+  std::printf("RAPPID advantage: %.1fx throughput, %.1fx latency, "
+              "%.1fx power, %+.0f%% area\n",
+              r.gips / c.gips, c.avg_latency_ps / r.first_latency_ps,
+              c.watts / r.watts,
+              100.0 * (static_cast<double>(r.transistors) /
+                           static_cast<double>(c.transistors) -
+                       1.0));
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Burst-mode machines and fundamental-mode synthesis — the XBM/3D baseline
+// of Section 3. The machine rests in a stable total state; an INPUT BURST
+// (a set of edges, in any order) triggers an OUTPUT BURST and a state
+// change. Fundamental mode assumes the environment holds further inputs
+// until the machine settles; partially-completed bursts are don't-cares
+// for the logic (the paper: "improved performance due to the
+// fundamental-mode timing assumption ... further timing assumptions are
+// not allowed").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "stg/signal.hpp"
+#include "stg/stg.hpp"
+
+namespace rtcad {
+
+struct BmBurst {
+  std::vector<Edge> inputs;   ///< must be non-empty
+  std::vector<Edge> outputs;  ///< may be empty (XBM extension)
+  int next_state = -1;
+};
+
+class BmMachine {
+ public:
+  explicit BmMachine(std::string name) : name_(std::move(name)) {}
+
+  int add_signal(const std::string& name, SignalKind kind);
+  int add_state();
+  void add_arc(int state, BmBurst burst);
+  void set_initial(int state) { initial_state_ = state; }
+
+  const std::string& name() const { return name_; }
+  int num_signals() const { return static_cast<int>(signals_.size()); }
+  int num_states() const { return static_cast<int>(states_.size()); }
+  const Signal& signal(int i) const { return signals_[i]; }
+  const std::vector<BmBurst>& arcs(int state) const {
+    return states_[state];
+  }
+  int initial_state() const { return initial_state_; }
+  bool is_input(int sig) const {
+    return signals_[sig].kind == SignalKind::kInput;
+  }
+
+  /// Rest values of every signal at every state, derived by walking the
+  /// bursts from the initial state (all signals start 0). Throws SpecError
+  /// on inconsistent bursts.
+  std::vector<std::uint32_t> rest_values() const;
+
+ private:
+  std::string name_;
+  std::vector<Signal> signals_;
+  std::vector<std::vector<BmBurst>> states_;
+  int initial_state_ = 0;
+};
+
+struct BmSynthResult {
+  Netlist netlist;
+  int state_bits = 0;
+  int literals = 0;
+};
+
+/// Fundamental-mode synthesis: sequential state encoding, two-level logic
+/// for outputs and state bits over (signals, state bits), feedback
+/// buffers on the state bits.
+BmSynthResult synthesize_bm(const BmMachine& machine);
+
+/// The FIFO controller as a burst-mode machine (Table 2's RT-BM row):
+///   S0 --{li+}/{lo+,ro+}--> S1 --{li-,ri+}/{lo-,ro-}--> S2 --{ri-}/{}--> S0
+BmMachine fifo_bm();
+
+/// Equivalent STG (linear cycle of the bursts) so burst-mode circuits can
+/// reuse the simulation environment and the fault simulator. Valid for
+/// machines whose states have exactly one outgoing arc.
+Stg bm_to_stg(const BmMachine& machine);
+
+}  // namespace rtcad

@@ -1,0 +1,56 @@
+// Stuck-at fault simulation for asynchronous control circuits.
+//
+// Test method per the RAPPID methodology: drive the circuit with its
+// specification protocol and compare against the fault-free run. A fault is
+// DETECTED if the circuit produces a protocol violation (wrong output
+// edge), deadlocks (halting fault caught by a watchdog — the dominant
+// detection mechanism in handshake circuits), or falls far behind the
+// golden cycle count. Faults that survive the full protocol exercise are
+// undetectable redundancies — typically transistors added to prevent
+// hazards, exactly the DFT pain point Section 6 calls out.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/stgenv.hpp"
+#include "stg/stg.hpp"
+
+namespace rtcad {
+
+struct Fault {
+  int net = -1;
+  bool stuck_value = false;
+};
+
+struct FaultSimOptions {
+  double sim_time_ps = 60000.0;
+  StgEnvOptions env;
+  /// Detected if the faulty run achieves fewer than this fraction of the
+  /// golden run's cycles (throughput watchdog).
+  double cycle_fraction = 0.5;
+};
+
+struct FaultSimResult {
+  int total = 0;
+  int detected = 0;
+  std::vector<Fault> undetected;
+  double coverage() const {
+    return total == 0 ? 1.0 : static_cast<double>(detected) / total;
+  }
+};
+
+/// Full single-stuck-at fault list: every net stuck at 0 and at 1.
+std::vector<Fault> enumerate_faults(const Netlist& netlist);
+
+/// Protocol-driven fault simulation against the STG specification.
+FaultSimResult fault_simulate(const Netlist& netlist, const Stg& spec,
+                              const FaultSimOptions& opts = {});
+
+/// Fault simulation for self-timed rings (e.g. pulse-mode FIFOs) that have
+/// no external environment: detection = the observed net stops pulsing.
+FaultSimResult fault_simulate_ring(const Netlist& ring,
+                                   const std::string& watch_net,
+                                   double sim_time_ps = 60000.0);
+
+}  // namespace rtcad

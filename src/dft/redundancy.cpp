@@ -1,0 +1,34 @@
+#include "dft/redundancy.hpp"
+
+#include <map>
+
+namespace rtcad {
+
+std::vector<RedundancyFlag> flag_redundant(const Netlist& netlist,
+                                           const FaultSimResult& result) {
+  std::map<int, RedundancyFlag> by_net;
+  for (const Fault& f : result.undetected) {
+    RedundancyFlag& flag = by_net[f.net];
+    flag.net = netlist.net(f.net).name;
+    flag.gate = netlist.net(f.net).driver;
+    flag.cell = flag.gate >= 0
+                    ? Library::standard()
+                          .cell(netlist.gate(flag.gate).cell)
+                          .name
+                    : "input";
+    flag.stuck_values |= f.stuck_value ? 2 : 1;
+  }
+  std::vector<RedundancyFlag> out;
+  out.reserve(by_net.size());
+  for (auto& [net, flag] : by_net) out.push_back(std::move(flag));
+  return out;
+}
+
+std::string describe(const RedundancyFlag& flag) {
+  std::string which;
+  if (flag.stuck_values & 1) which += "s-a-0";
+  if (flag.stuck_values & 2) which += which.empty() ? "s-a-1" : ", s-a-1";
+  return "net '" + flag.net + "' (" + flag.cell + "): undetectable " + which;
+}
+
+}  // namespace rtcad

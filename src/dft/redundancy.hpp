@@ -1,0 +1,30 @@
+// DFT redundancy flagging — Section 6's testing direction: "Have the
+// synthesis/testing tool flag the transistors which were added to prevent
+// hazards, which may have undetectable faults." Maps undetected stuck-at
+// faults back to gates/cells so the designer sees exactly which logic is
+// protocol-redundant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dft/faultsim.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rtcad {
+
+struct RedundancyFlag {
+  int gate = -1;              ///< gate whose output net carries the fault
+  std::string cell;           ///< cell type name
+  std::string net;            ///< net name
+  int stuck_values = 0;       ///< bit0: s-a-0 undetected, bit1: s-a-1
+};
+
+/// Group a fault-sim's undetected faults per driving gate. Faults on
+/// primary inputs are reported with gate = -1.
+std::vector<RedundancyFlag> flag_redundant(const Netlist& netlist,
+                                           const FaultSimResult& result);
+
+std::string describe(const RedundancyFlag& flag);
+
+}  // namespace rtcad

@@ -1,0 +1,103 @@
+#include "flow/rtflow.hpp"
+
+#include "rt/reduce.hpp"
+#include "util/strings.hpp"
+
+namespace rtcad {
+namespace {
+
+void stage(FlowResult* r, const std::string& name, const std::string& detail) {
+  r->stages.push_back(FlowStage{name, detail});
+}
+
+}  // namespace
+
+FlowResult run_flow(const Stg& input_spec, const FlowOptions& opts) {
+  FlowResult result;
+  result.spec = input_spec;
+  result.spec.validate();
+  stage(&result, "specification",
+        strprintf("%d signals, %d transitions, %d places",
+                  result.spec.num_signals(), result.spec.num_transitions(),
+                  result.spec.num_places()));
+
+  StateGraph sg = StateGraph::build(result.spec);
+  result.states = sg.num_states();
+  SgAnalysis analysis = analyze(sg);
+  stage(&result, "reachability",
+        strprintf("%d states, %d edges, %zu persistency violations, %zu CSC "
+                  "conflicts",
+                  sg.num_states(), sg.num_edges(), analysis.persistency.size(),
+                  analysis.csc_conflicts.size()));
+  if (!analysis.speed_independent())
+    throw SpecError("specification is not output-persistent: " +
+                    describe(sg, analysis.persistency.front()));
+
+  if (!analysis.has_csc()) {
+    if (opts.mode == FlowMode::kRelativeTiming) {
+      // Conflicts may disappear once timing prunes the straggler states.
+      std::vector<RtAssumption> assumptions = opts.rt.user_assumptions;
+      for (auto& a : generate_assumptions(sg, opts.rt.generate))
+        assumptions.push_back(a);
+      const ReduceResult red = reduce(sg, assumptions);
+      const SgAnalysis reduced_analysis = analyze(red.sg);
+      if (reduced_analysis.has_csc()) {
+        stage(&result, "state encoding",
+              strprintf("CSC holds on the reduced graph (%d -> %d states); "
+                        "no state signal needed",
+                        sg.num_states(), red.sg.num_states()));
+      }
+      if (!reduced_analysis.has_csc()) {
+        const EncodeResult enc = solve_csc(result.spec, opts.encode);
+        if (!enc.solved)
+          throw SpecError(
+              "CSC unsolvable: neither timing assumptions nor state-signal "
+              "insertion resolve the conflicts");
+        result.spec = enc.stg;
+        result.state_signals_added = enc.signals_added;
+        sg = StateGraph::build(result.spec);
+        stage(&result, "state encoding",
+              strprintf("inserted %d state signal(s); %d states",
+                        enc.signals_added, sg.num_states()));
+      }
+    } else {
+      const EncodeResult enc = solve_csc(result.spec, opts.encode);
+      if (!enc.solved)
+        throw SpecError("CSC conflicts unsolvable by state-signal insertion "
+                        "under speed-independent semantics");
+      result.spec = enc.stg;
+      result.state_signals_added = enc.signals_added;
+      sg = StateGraph::build(result.spec);
+      stage(&result, "state encoding",
+            strprintf("inserted %d state signal(s); %d states",
+                      enc.signals_added, sg.num_states()));
+    }
+  }
+
+  if (opts.mode == FlowMode::kSpeedIndependent) {
+    result.si = synthesize_si(sg, opts.si);
+    stage(&result, "logic synthesis",
+          strprintf("SI style, %d literals, %d transistors",
+                    result.si->literals, result.si->netlist.transistor_count()));
+    result.states_reduced = sg.num_states();
+    return result;
+  }
+
+  result.rt = synthesize_rt(sg, opts.rt);
+  result.states_reduced = result.rt->states_after;
+  stage(&result, "assumption generation",
+        strprintf("%zu assumptions (%zu user)", result.rt->assumptions.size(),
+                  opts.rt.user_assumptions.size()));
+  stage(&result, "lazy state graph",
+        strprintf("%d -> %d states", result.rt->states_before,
+                  result.rt->states_after));
+  stage(&result, "logic synthesis",
+        strprintf("RT style, %d literals, %d transistors",
+                  result.rt->literals, result.rt->netlist.transistor_count()));
+  stage(&result, "back-annotation",
+        strprintf("%zu required timing constraints",
+                  result.rt->constraints.size()));
+  return result;
+}
+
+}  // namespace rtcad

@@ -1,0 +1,55 @@
+// The Figure 2 design flow as one API:
+//
+//   Specification STG -> Reachability analysis -> [Timing-aware state
+//   encoding] -> RT-assumption generation -> Lazy state graph -> Logic
+//   synthesis -> RT circuit + back-annotated required constraints.
+//
+// Two modes: speed-independent (no timing assumptions; the Figure 4 world)
+// and relative-timing (the Figure 5/6 world).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sg/analysis.hpp"
+#include "sg/encode.hpp"
+#include "synth/gatesynth.hpp"
+#include "synth/rtsynth.hpp"
+
+namespace rtcad {
+
+enum class FlowMode { kSpeedIndependent, kRelativeTiming };
+
+struct FlowOptions {
+  FlowMode mode = FlowMode::kRelativeTiming;
+  EncodeOptions encode;
+  SynthOptions si;
+  RtSynthOptions rt;
+};
+
+struct FlowStage {
+  std::string name;
+  std::string detail;
+};
+
+struct FlowResult {
+  /// Specification after state encoding (may equal the input spec).
+  Stg spec;
+  int state_signals_added = 0;
+  int states = 0;          ///< full state graph
+  int states_reduced = 0;  ///< after RT concurrency reduction (RT mode)
+  std::optional<SynthResult> si;
+  std::optional<RtSynthResult> rt;
+  std::vector<FlowStage> stages;
+
+  const Netlist& netlist() const { return rt ? rt->netlist : si->netlist; }
+  int literals() const { return rt ? rt->literals : si->literals; }
+};
+
+/// Run the complete flow. Throws SpecError when the specification cannot
+/// be implemented in the requested mode (inconsistent, not persistent,
+/// CSC unsolvable).
+FlowResult run_flow(const Stg& spec, const FlowOptions& opts = {});
+
+}  // namespace rtcad

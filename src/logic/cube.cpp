@@ -1,0 +1,45 @@
+#include "logic/cube.hpp"
+
+namespace rtcad {
+
+std::string Cube::to_string(const std::vector<std::string>& names) const {
+  if (is_tautology()) return "1";
+  std::string out;
+  for (std::size_t v = 0; v < names.size() && v < 64; ++v) {
+    const int lit = literal(static_cast<int>(v));
+    if (lit == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += names[v];
+    if (lit < 0) out += '\'';
+  }
+  return out;
+}
+
+void Cover::remove_contained() {
+  std::vector<Cube> kept;
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    bool contained = false;
+    for (std::size_t j = 0; j < cubes.size() && !contained; ++j) {
+      if (i == j) continue;
+      // Keep the earlier of two identical cubes.
+      if (cubes[j].covers(cubes[i]) &&
+          !(cubes[i] == cubes[j] && i < j)) {
+        contained = true;
+      }
+    }
+    if (!contained) kept.push_back(cubes[i]);
+  }
+  cubes = std::move(kept);
+}
+
+std::string Cover::to_string(const std::vector<std::string>& names) const {
+  if (cubes.empty()) return "0";
+  std::string out;
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    if (i) out += " + ";
+    out += cubes[i].to_string(names);
+  }
+  return out;
+}
+
+}  // namespace rtcad

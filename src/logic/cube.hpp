@@ -1,0 +1,114 @@
+// Cubes (product terms) and covers (sums of products) over up to 64 Boolean
+// variables. This is the two-level representation the logic synthesizer
+// produces; variables are indexed, names live at a higher layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rtcad {
+
+/// One product term. Variable i appears iff bit i of `care` is set; its
+/// polarity is then bit i of `value` (1 = positive literal, 0 = negated).
+/// Invariant: value is a subset of care (non-care value bits are zero).
+struct Cube {
+  std::uint64_t care = 0;
+  std::uint64_t value = 0;
+
+  Cube() = default;
+  Cube(std::uint64_t care_bits, std::uint64_t value_bits)
+      : care(care_bits), value(value_bits & care_bits) {}
+
+  /// The universal cube (constant true).
+  static Cube tautology() { return Cube{0, 0}; }
+
+  /// Cube consisting of the single minterm `m` over `nvars` variables.
+  static Cube minterm(std::uint64_t m, int nvars) {
+    RTCAD_EXPECTS(nvars >= 0 && nvars <= 64);
+    const std::uint64_t mask =
+        nvars == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << nvars) - 1;
+    return Cube{mask, m & mask};
+  }
+
+  int num_literals() const { return __builtin_popcountll(care); }
+
+  bool is_tautology() const { return care == 0; }
+
+  /// Does this cube evaluate true on minterm `m`?
+  bool covers_minterm(std::uint64_t m) const {
+    return ((m ^ value) & care) == 0;
+  }
+
+  /// Does this cube contain every minterm of `o`?
+  bool covers(const Cube& o) const {
+    return (care & ~o.care) == 0 && ((value ^ o.value) & care) == 0;
+  }
+
+  /// Do the two cubes share at least one minterm?
+  bool intersects(const Cube& o) const {
+    return ((value ^ o.value) & care & o.care) == 0;
+  }
+
+  /// Literal polarity of variable v: +1 positive, -1 negative, 0 absent.
+  int literal(int v) const {
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    if (!(care & bit)) return 0;
+    return (value & bit) ? +1 : -1;
+  }
+
+  /// Add / overwrite a literal.
+  void set_literal(int v, bool positive) {
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    care |= bit;
+    if (positive)
+      value |= bit;
+    else
+      value &= ~bit;
+  }
+
+  void drop_literal(int v) {
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    care &= ~bit;
+    value &= ~bit;
+  }
+
+  bool operator==(const Cube&) const = default;
+
+  /// Render as e.g. "a b' d" using variable names.
+  std::string to_string(const std::vector<std::string>& names) const;
+};
+
+/// Sum-of-products; cubes are implicitly ORed.
+struct Cover {
+  int nvars = 0;
+  std::vector<Cube> cubes;
+
+  Cover() = default;
+  explicit Cover(int num_vars) : nvars(num_vars) {
+    RTCAD_EXPECTS(num_vars >= 0 && num_vars <= 64);
+  }
+
+  bool eval(std::uint64_t minterm) const {
+    for (const auto& c : cubes)
+      if (c.covers_minterm(minterm)) return true;
+    return false;
+  }
+
+  bool empty() const { return cubes.empty(); }
+
+  int num_literals() const {
+    int n = 0;
+    for (const auto& c : cubes) n += c.num_literals();
+    return n;
+  }
+
+  /// Remove cubes single-cube-contained in another cube of the cover.
+  void remove_contained();
+
+  std::string to_string(const std::vector<std::string>& names) const;
+};
+
+}  // namespace rtcad

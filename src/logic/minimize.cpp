@@ -1,0 +1,237 @@
+#include "logic/minimize.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rtcad {
+namespace {
+
+struct CubeHash {
+  std::size_t operator()(const Cube& c) const {
+    return std::hash<std::uint64_t>{}(c.care * 0x9e3779b97f4a7c15ull ^
+                                      c.value);
+  }
+};
+
+}  // namespace
+
+std::vector<Cube> prime_implicants(const TruthTable& f) {
+  const int n = f.nvars();
+  // Level 0: all ON and DC minterms as full-care cubes.
+  std::unordered_set<Cube, CubeHash> current;
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    if (f.is_on(m) || f.is_dc(m)) current.insert(Cube::minterm(m, n));
+  }
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::unordered_set<Cube, CubeHash> next;
+    std::unordered_set<Cube, CubeHash> merged;
+    // Group by care mask; only same-care cubes can QM-merge.
+    std::vector<Cube> cubes(current.begin(), current.end());
+    std::sort(cubes.begin(), cubes.end(), [](const Cube& a, const Cube& b) {
+      return a.care != b.care ? a.care < b.care : a.value < b.value;
+    });
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      for (std::size_t j = i + 1;
+           j < cubes.size() && cubes[j].care == cubes[i].care; ++j) {
+        const std::uint64_t diff = cubes[i].value ^ cubes[j].value;
+        if (__builtin_popcountll(diff) == 1) {
+          next.insert(Cube{cubes[i].care & ~diff, cubes[i].value & ~diff});
+          merged.insert(cubes[i]);
+          merged.insert(cubes[j]);
+        }
+      }
+    }
+    for (const auto& c : cubes) {
+      if (!merged.count(c)) primes.push_back(c);
+    }
+    current = std::move(next);
+  }
+  return primes;
+}
+
+namespace {
+
+/// Unate covering: choose a subset of `primes` covering every index in
+/// `targets` (ON-set minterms). Returns selected prime indices.
+class CoverSolver {
+ public:
+  CoverSolver(const std::vector<Cube>& primes,
+              const std::vector<std::uint32_t>& targets, bool exact,
+              std::size_t exact_limit)
+      : primes_(primes), targets_(targets) {
+    covers_.resize(targets.size());
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      for (std::size_t p = 0; p < primes.size(); ++p) {
+        if (primes[p].covers_minterm(targets[t]))
+          covers_[t].push_back(p);
+      }
+      RTCAD_ASSERT(!covers_[t].empty());  // primes always cover ON set
+    }
+    exact_ = exact && primes.size() * targets.size() <= exact_limit &&
+             primes.size() <= 64;
+  }
+
+  std::vector<std::size_t> solve() {
+    std::vector<std::size_t> chosen = essential_plus_greedy();
+    if (!exact_) return chosen;
+    // Branch and bound, seeded with the greedy solution as the bound.
+    best_ = chosen;
+    std::vector<std::size_t> partial;
+    BitVec covered(targets_.size());
+    mark(covered, partial, essential_only());
+    branch(covered, partial);
+    return best_;
+  }
+
+ private:
+  std::vector<std::size_t> essential_only() {
+    std::vector<std::size_t> ess;
+    for (std::size_t t = 0; t < targets_.size(); ++t) {
+      if (covers_[t].size() == 1) ess.push_back(covers_[t][0]);
+    }
+    std::sort(ess.begin(), ess.end());
+    ess.erase(std::unique(ess.begin(), ess.end()), ess.end());
+    return ess;
+  }
+
+  void mark(BitVec& covered, std::vector<std::size_t>& partial,
+            const std::vector<std::size_t>& picks) {
+    for (auto p : picks) {
+      partial.push_back(p);
+      for (std::size_t t = 0; t < targets_.size(); ++t)
+        if (primes_[p].covers_minterm(targets_[t])) covered.set(t);
+    }
+  }
+
+  static int total_literals(const std::vector<Cube>& primes,
+                            const std::vector<std::size_t>& sel) {
+    int n = 0;
+    for (auto i : sel) n += primes[i].num_literals();
+    return n;
+  }
+
+  bool better(const std::vector<std::size_t>& a,
+              const std::vector<std::size_t>& b) const {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return total_literals(primes_, a) < total_literals(primes_, b);
+  }
+
+  void branch(BitVec& covered, std::vector<std::size_t>& partial) {
+    if (partial.size() >= best_.size() &&
+        !(partial.size() == best_.size() && covered.count() == targets_.size()))
+      return;  // bound on cube count
+    // Find first uncovered target.
+    std::size_t t = targets_.size();
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+      if (!covered.test(i)) {
+        t = i;
+        break;
+      }
+    }
+    if (t == targets_.size()) {
+      if (better(partial, best_)) best_ = partial;
+      return;
+    }
+    for (auto p : covers_[t]) {
+      std::vector<bool> newly;
+      newly.reserve(targets_.size());
+      for (std::size_t i = 0; i < targets_.size(); ++i) {
+        const bool add = !covered.test(i) &&
+                         primes_[p].covers_minterm(targets_[i]);
+        newly.push_back(add);
+        if (add) covered.set(i);
+      }
+      partial.push_back(p);
+      branch(covered, partial);
+      partial.pop_back();
+      for (std::size_t i = 0; i < targets_.size(); ++i)
+        if (newly[i]) covered.reset(i);
+    }
+  }
+
+  std::vector<std::size_t> essential_plus_greedy() {
+    std::vector<std::size_t> chosen = essential_only();
+    BitVec covered(targets_.size());
+    for (auto p : chosen)
+      for (std::size_t t = 0; t < targets_.size(); ++t)
+        if (primes_[p].covers_minterm(targets_[t])) covered.set(t);
+    while (covered.count() < targets_.size()) {
+      std::size_t best_p = primes_.size();
+      long best_gain = -1;
+      for (std::size_t p = 0; p < primes_.size(); ++p) {
+        long gain = 0;
+        for (std::size_t t = 0; t < targets_.size(); ++t)
+          if (!covered.test(t) && primes_[p].covers_minterm(targets_[t]))
+            ++gain;
+        // Prefer more coverage; break ties toward fewer literals.
+        if (gain > best_gain ||
+            (gain == best_gain && best_p < primes_.size() &&
+             primes_[p].num_literals() < primes_[best_p].num_literals())) {
+          best_gain = gain;
+          best_p = p;
+        }
+      }
+      RTCAD_ASSERT(best_p < primes_.size() && best_gain > 0);
+      chosen.push_back(best_p);
+      for (std::size_t t = 0; t < targets_.size(); ++t)
+        if (primes_[best_p].covers_minterm(targets_[t])) covered.set(t);
+    }
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    return chosen;
+  }
+
+  const std::vector<Cube>& primes_;
+  const std::vector<std::uint32_t>& targets_;
+  std::vector<std::vector<std::size_t>> covers_;
+  std::vector<std::size_t> best_;
+  bool exact_ = false;
+};
+
+}  // namespace
+
+Cover minimize(const TruthTable& f, const MinimizeOptions& opts) {
+  Cover out(f.nvars());
+  std::vector<std::uint32_t> on;
+  for (std::uint32_t m = 0; m < f.size(); ++m)
+    if (f.is_on(m)) on.push_back(m);
+  if (on.empty()) return out;  // constant 0
+
+  const std::vector<Cube> primes = prime_implicants(f);
+  if (primes.size() == 1 && primes[0].is_tautology()) {
+    out.cubes.push_back(Cube::tautology());
+    return out;
+  }
+
+  CoverSolver solver(primes, on, opts.exact_cover, opts.exact_limit);
+  for (auto idx : solver.solve()) out.cubes.push_back(primes[idx]);
+  RTCAD_ENSURES(f.is_implemented_by(out));
+  return out;
+}
+
+bool single_cube_cover(const TruthTable& f, Cube* out) {
+  // Supercube of the ON set: drop every variable on which ON disagrees.
+  bool any = false;
+  std::uint64_t all_ones = ~std::uint64_t{0};
+  std::uint64_t all_zeros = ~std::uint64_t{0};
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    if (!f.is_on(m)) continue;
+    any = true;
+    all_ones &= m;
+    all_zeros &= ~static_cast<std::uint64_t>(m);
+  }
+  if (!any) return false;
+  const std::uint64_t mask =
+      f.nvars() == 64 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << f.nvars()) - 1;
+  Cube c{(all_ones | all_zeros) & mask, all_ones & mask};
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    if (f.is_off(m) && c.covers_minterm(m)) return false;
+  }
+  *out = c;
+  return true;
+}
+
+}  // namespace rtcad

@@ -1,0 +1,34 @@
+// Exact two-level minimization (Quine-McCluskey prime generation followed by
+// unate covering). Sized for asynchronous controller next-state functions:
+// exact primes matter because speed-independent covers must respect
+// monotonicity constraints checked by the synthesizer downstream.
+#pragma once
+
+#include <vector>
+
+#include "logic/cube.hpp"
+#include "logic/truthtable.hpp"
+
+namespace rtcad {
+
+struct MinimizeOptions {
+  /// Use exact branch-and-bound covering when the prime/minterm matrix is
+  /// small enough; otherwise essential + greedy covering.
+  bool exact_cover = true;
+  /// Branch-and-bound size guard (primes * onset minterms).
+  std::size_t exact_limit = 200000;
+};
+
+/// All prime implicants of (ON ∪ DC).
+std::vector<Cube> prime_implicants(const TruthTable& f);
+
+/// Minimum(ish) SOP cover of f: covers all ON minterms, avoids all OFF
+/// minterms, may use DC minterms freely. Cube count is minimized first,
+/// then literal count among selected primes.
+Cover minimize(const TruthTable& f, const MinimizeOptions& opts = {});
+
+/// Single-cube cover if one exists (the supercube of ON, if it avoids OFF).
+/// Used by the domino mapper which prefers single-AND implementations.
+bool single_cube_cover(const TruthTable& f, Cube* out);
+
+}  // namespace rtcad

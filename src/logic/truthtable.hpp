@@ -1,0 +1,52 @@
+// Incompletely-specified single-output Boolean function as explicit ON and
+// DC minterm sets. Sized for control logic: handshake controllers have a
+// handful of signals, so 2^n truth tables (n <= kMaxVars) are the simplest
+// exact representation for next-state function derivation.
+#pragma once
+
+#include <cstdint>
+
+#include "logic/cube.hpp"
+#include "util/bitvec.hpp"
+
+namespace rtcad {
+
+class TruthTable {
+ public:
+  static constexpr int kMaxVars = 20;
+
+  explicit TruthTable(int nvars);
+
+  int nvars() const { return nvars_; }
+  std::uint32_t size() const { return std::uint32_t{1} << nvars_; }
+
+  void set_on(std::uint32_t m);
+  void set_dc(std::uint32_t m);
+  void set_off(std::uint32_t m);  ///< explicit OFF (clears ON/DC)
+
+  bool is_on(std::uint32_t m) const { return on_.test(m); }
+  bool is_dc(std::uint32_t m) const { return dc_.test(m); }
+  bool is_off(std::uint32_t m) const { return !on_.test(m) && !dc_.test(m); }
+
+  std::size_t on_count() const { return on_.count(); }
+  std::size_t dc_count() const { return dc_.count(); }
+
+  const BitVec& on_set() const { return on_; }
+  const BitVec& dc_set() const { return dc_; }
+
+  /// Mark every minterm not currently ON as DC (used to start from
+  /// "unreachable states are free" and then carve out the OFF set).
+  void fill_unspecified_with_dc();
+
+  /// True if `cover` is 1 on all ON minterms and 0 on all OFF minterms.
+  bool is_implemented_by(const Cover& cover) const;
+
+  /// True if `cover` intersects the OFF set (illegal cover).
+  bool cover_hits_off(const Cover& cover) const;
+
+ private:
+  int nvars_;
+  BitVec on_, dc_;
+};
+
+}  // namespace rtcad

@@ -1,0 +1,69 @@
+#include "netlist/compose.hpp"
+
+namespace rtcad {
+
+void instantiate(Netlist* top, const Netlist& cell, const std::string& prefix,
+                 const std::map<std::string, int>& port_map) {
+  std::vector<int> net_map(cell.num_nets(), -1);
+  for (int n = 0; n < cell.num_nets(); ++n) {
+    const NetlistNet& net = cell.net(n);
+    auto it = port_map.find(net.name);
+    if (it != port_map.end()) {
+      RTCAD_EXPECTS(it->second >= 0 && it->second < top->num_nets());
+      if (!net.is_primary_input) {
+        // The instance will drive this top-level net.
+        RTCAD_EXPECTS(top->net(it->second).driver < 0);
+        RTCAD_EXPECTS(!top->net(it->second).is_primary_input);
+      }
+      net_map[n] = it->second;
+    } else {
+      net_map[n] = top->add_net(prefix + net.name, net.initial_value);
+    }
+  }
+  for (int g = 0; g < cell.num_gates(); ++g) {
+    const NetlistGate& gate = cell.gate(g);
+    std::vector<int> inputs;
+    inputs.reserve(gate.inputs.size());
+    for (int in : gate.inputs) inputs.push_back(net_map[in]);
+    top->add_gate(gate.cell, inputs, net_map[gate.output], gate.delay_scale);
+  }
+}
+
+Netlist fifo_chain(const Netlist& cell, int stages) {
+  RTCAD_EXPECTS(stages >= 1);
+  for (const char* port : {"li", "lo", "ro", "ri"})
+    RTCAD_EXPECTS(cell.find_net(port) >= 0);
+
+  Netlist top(cell.name() + "_chain" + std::to_string(stages));
+  const bool li0 = cell.net(cell.find_net("li")).initial_value;
+  const bool ri0 = cell.net(cell.find_net("ri")).initial_value;
+  const int li = top.add_primary_input("li", li0);
+  const int ri = top.add_primary_input("ri", ri0);
+
+  // Inter-stage nets: req[k] connects stage k's ro to stage k+1's li;
+  // ack[k] connects stage k+1's lo back to stage k's ri.
+  std::vector<int> req(stages + 1), ack(stages + 1);
+  req[0] = li;
+  ack[stages] = ri;
+  for (int k = 1; k < stages; ++k) {
+    req[k] = top.add_net("req" + std::to_string(k), li0);
+    ack[k] = top.add_net("ack" + std::to_string(k), ri0);
+  }
+  // End-of-chain observable ports.
+  req[stages] = top.add_net("ro", false);
+  ack[0] = top.add_net("lo", false);
+  top.mark_primary_output(req[stages]);
+  top.mark_primary_output(ack[0]);
+
+  for (int k = 0; k < stages; ++k) {
+    instantiate(&top, cell, "s" + std::to_string(k) + "_",
+                {{"li", req[k]},
+                 {"lo", ack[k]},
+                 {"ro", req[k + 1]},
+                 {"ri", ack[k + 1]}});
+  }
+  top.validate();
+  return top;
+}
+
+}  // namespace rtcad

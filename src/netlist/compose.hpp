@@ -1,0 +1,29 @@
+// Hierarchical composition: instantiate one netlist inside another with a
+// port map. Used to build multi-cell structures — FIFO chains and rings of
+// synthesized controller cells, RAPPID-style control slices — out of the
+// single-cell results of the synthesis flow.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace rtcad {
+
+/// Copy every gate of `cell` into `top`. Ports of `cell` (primary inputs
+/// and primary outputs) that appear in `port_map` are connected to the
+/// given existing nets of `top`; all other cell nets are created fresh as
+/// `prefix` + name. A mapped primary OUTPUT's driver takes over the target
+/// net (which must be undriven); a mapped primary INPUT uses the target
+/// net as-is.
+void instantiate(Netlist* top, const Netlist& cell, const std::string& prefix,
+                 const std::map<std::string, int>& port_map);
+
+/// A linear chain of `stages` copies of a four-phase FIFO cell with ports
+/// (li, lo, ro, ri): stage k's ro drives stage k+1's li, stage k+1's lo
+/// drives stage k's ri. The chain's own ports are exposed as
+/// li / lo (left end) and ro / ri (right end).
+Netlist fifo_chain(const Netlist& cell, int stages);
+
+}  // namespace rtcad

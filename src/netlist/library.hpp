@@ -1,0 +1,73 @@
+// Cell library for asynchronous control circuits, modelled on the paper's
+// implementation fabric: static CMOS gates from a synchronous library plus
+// a few custom cells — C-elements and footed/unfooted domino gates with
+// keepers (Figure 5's schematic).
+//
+// Per-cell parameters (transistor count, nominal delay, switching energy)
+// are calibrated to a 0.25 um-class process so that the Table 2 benchmark
+// reproduces the paper's picosecond/picojoule scale; the parameters live in
+// one table in library.cpp so every number in EXPERIMENTS.md is auditable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rtcad {
+
+/// Simulation semantics of a cell. Data pins are ordered; cells with a
+/// control pin (foot/reset) take it as pin 0.
+enum class CellKind {
+  kInput,     ///< primary-input pseudo cell (no pins)
+  kInv,
+  kBuf,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kAoi21,     ///< out = !((a & b) | c)
+  kOai21,     ///< out = !((a | b) & c)
+  kCelement,  ///< out = ab + out(a+b), any arity >= 2
+  kSrLatch,   ///< pin0 = set, pin1 = reset (NOR latch; set wins on both)
+  kDominoF,   ///< footed domino: pin0 = foot; foot=0 -> 0 (precharge),
+              ///< foot=1 & AND(data) -> 1, else hold (keeper)
+  kDominoU,   ///< unfooted domino: pin0 = precharge; pre=1 -> 0,
+              ///< AND(data) -> 1, else hold (keeper)
+};
+
+const char* to_string(CellKind k);
+
+struct CellType {
+  std::string name;   ///< e.g. "NAND2", "CEL2", "DOMF2"
+  CellKind kind;
+  int num_pins;       ///< total pins incl. control pin for domino/latch
+  int transistors;
+  double delay_ps;    ///< nominal propagation delay
+  double energy_fj;   ///< energy per output transition (femtojoules)
+};
+
+/// The fixed standard library. Cells are identified by index; lookups by
+/// name are checked.
+class Library {
+ public:
+  static const Library& standard();
+
+  int cell_id(const std::string& name) const;  ///< throws if unknown
+  const CellType& cell(int id) const { return cells_[id]; }
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+
+  /// AND-style cell of the given kind with `data_inputs` data pins,
+  /// e.g. nand with 3 inputs -> "NAND3". Throws if the arity is not stocked.
+  int find(CellKind kind, int data_inputs) const;
+
+ private:
+  std::vector<CellType> cells_;
+};
+
+/// Evaluate a cell's next output value given pin values and current output.
+/// Returns 0/1, or -1 for "hold current value" (state-holding cells).
+int eval_cell(CellKind kind, const std::vector<bool>& pins, bool current);
+
+}  // namespace rtcad

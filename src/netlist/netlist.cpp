@@ -1,0 +1,119 @@
+#include "netlist/netlist.hpp"
+
+#include <functional>
+
+namespace rtcad {
+
+int Netlist::add_net(const std::string& name, bool initial_value) {
+  const int id = static_cast<int>(nets_.size());
+  NetlistNet n;
+  n.name = name;
+  n.initial_value = initial_value;
+  nets_.push_back(std::move(n));
+  return id;
+}
+
+int Netlist::add_primary_input(const std::string& name, bool initial_value) {
+  const int id = add_net(name, initial_value);
+  nets_[id].is_primary_input = true;
+  return id;
+}
+
+void Netlist::mark_primary_output(int net) {
+  RTCAD_EXPECTS(net >= 0 && net < num_nets());
+  nets_[net].is_primary_output = true;
+}
+
+int Netlist::add_gate(int cell, const std::vector<int>& inputs, int output,
+                      double delay_scale) {
+  const CellType& type = Library::standard().cell(cell);
+  RTCAD_EXPECTS(static_cast<int>(inputs.size()) == type.num_pins);
+  RTCAD_EXPECTS(output >= 0 && output < num_nets());
+  RTCAD_EXPECTS(nets_[output].driver < 0 && !nets_[output].is_primary_input);
+  const int id = static_cast<int>(gates_.size());
+  gates_.push_back(NetlistGate{cell, inputs, output, delay_scale});
+  nets_[output].driver = id;
+  for (int in : inputs) {
+    RTCAD_EXPECTS(in >= 0 && in < num_nets());
+    nets_[in].fanout.push_back(id);
+  }
+  return id;
+}
+
+int Netlist::add_gate(const std::string& cell_name,
+                      const std::vector<int>& inputs, int output,
+                      double delay_scale) {
+  return add_gate(Library::standard().cell_id(cell_name), inputs, output,
+                  delay_scale);
+}
+
+int Netlist::find_net(const std::string& name) const {
+  for (int i = 0; i < num_nets(); ++i)
+    if (nets_[i].name == name) return i;
+  return -1;
+}
+
+int Netlist::transistor_count() const {
+  int total = 0;
+  for (const auto& g : gates_)
+    total += Library::standard().cell(g.cell).transistors;
+  return total;
+}
+
+int Netlist::logic_depth(int net) const {
+  std::vector<int> memo(nets_.size(), -2);  // -2 = unvisited, -3 = on stack
+  std::function<int(int)> depth = [&](int n) -> int {
+    if (memo[n] >= -1) return memo[n];
+    if (memo[n] == -3) return 0;  // feedback loop: cut at the cycle
+    const int driver = nets_[n].driver;
+    if (driver < 0) return memo[n] = 0;
+    const auto& g = gates_[driver];
+    const CellKind kind = Library::standard().cell(g.cell).kind;
+    memo[n] = -3;
+    int worst = 0;
+    // State-holding cells restart the combinational depth count at 1.
+    const bool stateful = kind == CellKind::kCelement ||
+                          kind == CellKind::kSrLatch ||
+                          kind == CellKind::kDominoF ||
+                          kind == CellKind::kDominoU;
+    if (!stateful) {
+      for (int in : g.inputs) worst = std::max(worst, depth(in));
+    }
+    return memo[n] = worst + 1;
+  };
+  return depth(net);
+}
+
+void Netlist::validate() const {
+  for (int n = 0; n < num_nets(); ++n) {
+    const auto& net = nets_[n];
+    if (!net.is_primary_input && net.driver < 0)
+      throw SpecError("net '" + net.name + "' has no driver");
+    if (net.is_primary_input && net.driver >= 0)
+      throw SpecError("primary input '" + net.name + "' is also driven");
+  }
+}
+
+std::string Netlist::to_text() const {
+  const Library& lib = Library::standard();
+  std::string out = "# netlist " + name_ + "\n";
+  for (int n = 0; n < num_nets(); ++n) {
+    if (nets_[n].is_primary_input)
+      out += ".input " + nets_[n].name +
+             (nets_[n].initial_value ? " =1\n" : " =0\n");
+  }
+  for (const auto& g : gates_) {
+    out += nets_[g.output].name + " = " + lib.cell(g.cell).name + "(";
+    for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+      if (i) out += ", ";
+      out += nets_[g.inputs[i]].name;
+    }
+    out += ")\n";
+  }
+  for (int n = 0; n < num_nets(); ++n) {
+    if (nets_[n].is_primary_output) out += ".output " + nets_[n].name + "\n";
+  }
+  return out;
+}
+
+}  // namespace rtcad

@@ -1,0 +1,77 @@
+// Gate-level netlist over the standard Library: nets, gates, ports.
+// Produced by the synthesizers, consumed by the event-driven simulator,
+// the verifier and the fault simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/library.hpp"
+
+namespace rtcad {
+
+struct NetlistNet {
+  std::string name;
+  int driver = -1;          ///< gate id, or -1 for primary inputs
+  bool is_primary_input = false;
+  bool is_primary_output = false;
+  bool initial_value = false;  ///< reset value for simulation
+  std::vector<int> fanout;     ///< gate ids reading this net
+};
+
+struct NetlistGate {
+  int cell = -1;               ///< index into Library::standard()
+  std::vector<int> inputs;     ///< net ids, pin-ordered
+  int output = -1;             ///< net id
+  /// Per-instance delay scale (models drive/load differences); the
+  /// simulator multiplies the cell's nominal delay by this.
+  double delay_scale = 1.0;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "netlist") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  int add_net(const std::string& name, bool initial_value = false);
+  int add_primary_input(const std::string& name, bool initial_value = false);
+  void mark_primary_output(int net);
+
+  /// Add a gate; inputs are pin-ordered per the cell's CellKind contract
+  /// (control pin first for domino cells).
+  int add_gate(int cell, const std::vector<int>& inputs, int output,
+               double delay_scale = 1.0);
+  int add_gate(const std::string& cell_name, const std::vector<int>& inputs,
+               int output, double delay_scale = 1.0);
+
+  int num_nets() const { return static_cast<int>(nets_.size()); }
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  const NetlistNet& net(int id) const { return nets_[id]; }
+  NetlistNet& net(int id) { return nets_[id]; }
+  const NetlistGate& gate(int id) const { return gates_[id]; }
+  NetlistGate& gate(int id) { return gates_[id]; }
+
+  int find_net(const std::string& name) const;  ///< -1 if absent
+
+  int transistor_count() const;
+
+  /// Longest combinational depth in gates from any primary input to `net`
+  /// (state-holding cells count as depth sources). Used by the RT engine's
+  /// "one gate faster than two" delay heuristic.
+  int logic_depth(int net) const;
+
+  /// Every net has a driver or is a primary input; pin counts match cells.
+  /// Throws SpecError on violation.
+  void validate() const;
+
+  /// Human-readable structural dump (one gate per line).
+  std::string to_text() const;
+
+ private:
+  std::string name_;
+  std::vector<NetlistNet> nets_;
+  std::vector<NetlistGate> gates_;
+};
+
+}  // namespace rtcad

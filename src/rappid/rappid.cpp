@@ -1,0 +1,192 @@
+#include "rappid/rappid.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rtcad {
+
+InstructionMix InstructionMix::fixed(int len) {
+  RTCAD_EXPECTS(len >= 1 && len <= 15);
+  InstructionMix m;
+  for (double& w : m.weight) w = 0;
+  m.weight[len] = 1;
+  return m;
+}
+
+double InstructionMix::average_length() const {
+  double total = 0, weighted = 0;
+  for (int l = 1; l <= 15; ++l) {
+    total += weight[l];
+    weighted += weight[l] * l;
+  }
+  RTCAD_EXPECTS(total > 0);
+  return weighted / total;
+}
+
+std::vector<int> generate_stream(const InstructionMix& mix, long num_lines,
+                                 int bytes_per_line, std::uint64_t seed) {
+  Rng rng(seed);
+  double total = 0;
+  for (int l = 1; l <= 15; ++l) total += mix.weight[l];
+
+  std::vector<int> lengths;
+  long bytes = 0;
+  const long target = num_lines * bytes_per_line;
+  while (bytes < target) {
+    double pick = rng.uniform() * total;
+    int len = 1;
+    for (; len < 15; ++len) {
+      pick -= mix.weight[len];
+      if (pick <= 0) break;
+    }
+    lengths.push_back(len);
+    bytes += len;
+  }
+  return lengths;
+}
+
+RappidStats simulate_rappid(const RappidConfig& cfg,
+                            const InstructionMix& mix, long num_lines,
+                            std::uint64_t seed) {
+  const auto stream = generate_stream(mix, num_lines, cfg.columns, seed);
+  RappidStats stats;
+  stats.lines = num_lines;
+
+  // Line arrival times with a two-line prefetch FIFO: a line can only be
+  // latched once the tag has drained the line two back.
+  std::vector<double> line_arrival(num_lines + 16, 0.0);
+  std::vector<double> line_tag_done(num_lines + 16, 0.0);
+  line_arrival[0] = 0.0;
+
+  std::vector<double> row_free(cfg.rows, 0.0);
+  double tag = 0.0;  // tag token time
+  double tag_busy = 0.0, decode_sum = 0.0, steer_busy = 0.0;
+  double latency_sum = 0.0;
+
+  long byte_pos = 0;
+  long k = 0;
+  for (int len : stream) {
+    const long line = byte_pos / cfg.columns;
+    const long end_line = (byte_pos + len - 1) / cfg.columns;
+    if (line >= num_lines) break;
+
+    // Ensure the lines spanned by this instruction have arrived.
+    for (long l = line; l <= end_line; ++l) {
+      if (line_arrival[l] == 0.0 && l > 0) {
+        const double fifo_ready =
+            l >= cfg.prefetch_lines ? line_tag_done[l - cfg.prefetch_lines]
+                                    : 0.0;
+        line_arrival[l] = std::max(line_arrival[l - 1] + cfg.line_fetch_ps,
+                                   fifo_ready);
+      }
+    }
+    const double bytes_ready = line_arrival[end_line];
+
+    // Speculative length decode at this byte position starts on arrival.
+    const bool common = len <= cfg.common_max_len;
+    const double decode_d = common ? cfg.decode_common_ps : cfg.decode_rare_ps;
+    const double decoded = bytes_ready + decode_d;
+    decode_sum += decode_d;
+
+    // Tag hop: the tag reaches this instruction, waits for its Instruction
+    // Ready flag, then hops to the next boundary.
+    const double hop = (common ? cfg.tag_common_ps : cfg.tag_rare_ps) +
+                       (end_line != line ? cfg.tag_wrap_ps : 0.0);
+    const double tag_start = std::max(tag, decoded);
+    double tag_leave = tag_start + hop;
+    // Backpressure: the tag hands the instruction to its steering row and
+    // cannot advance while that row is still busy.
+    const int row = static_cast<int>(k % cfg.rows);
+    tag_leave = std::max(tag_leave, row_free[row]);
+    tag_busy += tag_leave - tag_start;
+    tag = tag_leave;
+    line_tag_done[end_line] = std::max(line_tag_done[end_line], tag_leave);
+
+    const double steer_done = tag_leave + cfg.steer_ps;
+    row_free[row] = steer_done;
+    steer_busy += cfg.steer_ps;
+
+    latency_sum += steer_done - bytes_ready;
+    if (k == 0) stats.first_latency_ps = steer_done - bytes_ready;
+    stats.total_ps = std::max(stats.total_ps, steer_done);
+    byte_pos += len;
+    ++k;
+  }
+
+  stats.instructions = k;
+  RTCAD_EXPECTS(k > 0 && stats.total_ps > 0);
+  stats.gips = static_cast<double>(k) / stats.total_ps * 1000.0;
+  stats.lines_per_sec =
+      static_cast<double>(num_lines) / (stats.total_ps * 1e-12);
+  stats.avg_latency_ps = latency_sum / static_cast<double>(k);
+  // Average rates of the three self-timed cycles, in GHz (1/ps * 1000).
+  stats.tag_freq_ghz = static_cast<double>(k) / tag_busy * 1000.0;
+  stats.decode_freq_ghz = static_cast<double>(k) / decode_sum * 1000.0;
+  stats.steer_freq_ghz = 1000.0 / cfg.steer_ps;
+
+  // Energy: every line latches and speculatively decodes all byte
+  // positions; every instruction pays one tag hop and one steering op.
+  stats.energy_pj =
+      static_cast<double>(num_lines) * cfg.columns *
+          (cfg.e_decode_pj + cfg.e_latch_pj) +
+      static_cast<double>(k) * (cfg.e_tag_pj + cfg.e_steer_pj);
+  stats.watts = stats.energy_pj * 1e-12 / (stats.total_ps * 1e-12);
+
+  // Area model (transistor estimate): per-column speculative decoder +
+  // byte latch + tag stage + crossbar column, per-row output buffer.
+  stats.transistors = static_cast<long>(cfg.columns) *
+                          (2800 /*decoder*/ + 680 /*byte latch*/ +
+                           120 /*tag stage*/ + 8 * 6 * cfg.rows /*xbar*/) +
+                      static_cast<long>(cfg.rows) * 1500 /*output buffer*/;
+  return stats;
+}
+
+ClockedStats simulate_clocked(const ClockedConfig& cfg,
+                              const InstructionMix& mix, long num_lines,
+                              std::uint64_t seed) {
+  const auto stream = generate_stream(mix, num_lines, 16, seed);
+  ClockedStats stats;
+
+  // Cycle-accurate consumption: each cycle decodes up to `decode_width`
+  // instructions subject to the aligner's byte budget; an instruction that
+  // does not fit entirely waits for the next cycle.
+  long cycles = 0;
+  std::size_t i = 0;
+  while (i < stream.size()) {
+    int width = 0, bytes = 0;
+    while (i < stream.size() && width < cfg.decode_width &&
+           bytes + stream[i] <= cfg.bytes_per_cycle) {
+      bytes += stream[i];
+      ++width;
+      ++i;
+    }
+    if (width == 0) {
+      // A single instruction longer than the byte budget: burn the cycles
+      // needed to stream it through the aligner.
+      cycles += (stream[i] + cfg.bytes_per_cycle - 1) / cfg.bytes_per_cycle;
+      ++i;
+    }
+    ++cycles;
+  }
+
+  const double period_ps = 1000.0 / cfg.clock_ghz;
+  stats.instructions = static_cast<long>(stream.size());
+  stats.cycles = cycles;
+  stats.total_ps = static_cast<double>(cycles) * period_ps;
+  stats.gips = static_cast<double>(stats.instructions) / stats.total_ps *
+               1000.0;
+  stats.avg_latency_ps = cfg.pipeline_stages * period_ps;
+  stats.energy_pj = static_cast<double>(cycles) * cfg.e_cycle_pj +
+                    static_cast<double>(stats.instructions) * cfg.e_inst_pj;
+  stats.watts = stats.energy_pj * 1e-12 / (stats.total_ps * 1e-12);
+  // Area: aligner mux tree + 3 serial decoders + pipeline registers +
+  // clock tree.
+  stats.transistors = 16000 /*aligner*/ +
+                      static_cast<long>(cfg.decode_width) * 8600 /*decoders*/ +
+                      cfg.pipeline_stages * 2700 /*pipe regs*/ +
+                      4700 /*clock tree*/;
+  return stats;
+}
+
+}  // namespace rtcad

@@ -1,0 +1,117 @@
+// Microarchitectural discrete-event model of RAPPID (Section 2, Figure 1):
+// 16-byte cache lines enter byte latches; sixteen speculative length
+// decoders compute instruction lengths at every byte position; a torus tag
+// unit passes the "instruction start" tag from boundary to boundary; a
+// 16-column x 4-row crossbar steers instruction bytes to four output
+// buffers. The three self-timed cycles the paper names — length decoding,
+// tag, steering — each carry their own latency parameters, so performance
+// is set by the AVERAGE case (common instructions are decoded and tagged
+// faster), not the worst case.
+//
+// The 400 MHz clocked comparator decodes up to 3 instructions per cycle
+// with a fixed pipeline; its energy is clock-gated-less: latches and clock
+// tree burn every cycle. Both models are driven by the same instruction
+// stream so Table 1's ratios (throughput 3x, latency 1/2, power 1/2, area
+// +22%) can be regenerated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rtcad {
+
+/// Probability weights for instruction lengths 1..15 bytes. The default is
+/// a typical x86 mix: dominated by 1-3 byte instructions with a thin tail,
+/// as RAPPID's length-decoding cycle was optimized for (Section 2.2).
+struct InstructionMix {
+  double weight[16] = {0, 18, 24, 22, 12, 8, 6, 4, 2.5, 1.5, 1, 0.5,
+                       0.25, 0.15, 0.07, 0.03};
+
+  /// A mix with every instruction `len` bytes long (scalability sweeps).
+  static InstructionMix fixed(int len);
+  double average_length() const;
+};
+
+struct RappidConfig {
+  int columns = 16;  ///< byte positions per line (Figure 1: 16)
+  int rows = 4;      ///< output buffers / issue width (Figure 1: 4)
+  /// Length decoding cycle (speculative, per byte position). Common
+  /// instructions (<= 7 bytes, no prefix) decode fast; rare ones slow.
+  double decode_common_ps = 1360.0;
+  double decode_rare_ps = 2720.0;
+  /// Tag cycle: per-instruction tag hop, optimized for common lengths.
+  double tag_common_ps = 260.0;
+  double tag_rare_ps = 520.0;
+  /// Extra tag latency when the instruction wraps to the next line.
+  double tag_wrap_ps = 160.0;
+  /// Steering cycle per instruction per row.
+  double steer_ps = 1060.0;
+  /// Line fetch: minimum spacing between cache-line arrivals.
+  double line_fetch_ps = 1200.0;
+  /// Input FIFO depth in cache lines (how far fetch may run ahead).
+  int prefetch_lines = 4;
+  /// Lengths considered "common" for decode/tag timing.
+  int common_max_len = 7;
+  /// Energy model (picojoules). Speculative decoders fire at every byte
+  /// position of every line — that waste is priced in, and the async unit
+  /// still halves the clocked power because nothing else ever switches.
+  double e_decode_pj = 4.0;    ///< one speculative length decoder firing
+  double e_tag_pj = 3.0;       ///< one tag hop
+  double e_steer_pj = 22.0;    ///< steering one instruction
+  double e_latch_pj = 1.0;     ///< latching one byte
+};
+
+struct RappidStats {
+  long instructions = 0;
+  long lines = 0;
+  double total_ps = 0.0;
+  double gips = 0.0;              ///< instructions per ns
+  double lines_per_sec = 0.0;
+  double avg_latency_ps = 0.0;    ///< byte arrival -> instruction steered
+  double first_latency_ps = 0.0;  ///< unloaded pipeline latency
+  double energy_pj = 0.0;
+  double watts = 0.0;             ///< energy / time
+  double tag_freq_ghz = 0.0;      ///< 1 / avg tag occupancy
+  double decode_freq_ghz = 0.0;
+  double steer_freq_ghz = 0.0;
+  long transistors = 0;           ///< area estimate
+};
+
+RappidStats simulate_rappid(const RappidConfig& config,
+                            const InstructionMix& mix, long num_lines,
+                            std::uint64_t seed = 1);
+
+struct ClockedConfig {
+  double clock_ghz = 0.4;   ///< the paper's 400 MHz comparison point
+  int decode_width = 3;     ///< instructions decoded per cycle
+  int pipeline_stages = 3;  ///< fetch-align-decode depth
+  /// Bytes the aligner can consume per cycle (long instructions stall).
+  int bytes_per_cycle = 10;
+  /// Energy: clock tree + latches every cycle, plus per-instruction work.
+  double e_cycle_pj = 600.0;
+  double e_inst_pj = 14.0;
+};
+
+struct ClockedStats {
+  long instructions = 0;
+  long cycles = 0;
+  double total_ps = 0.0;
+  double gips = 0.0;
+  double avg_latency_ps = 0.0;
+  double energy_pj = 0.0;
+  double watts = 0.0;
+  long transistors = 0;
+};
+
+ClockedStats simulate_clocked(const ClockedConfig& config,
+                              const InstructionMix& mix, long num_lines,
+                              std::uint64_t seed = 1);
+
+/// Generate a stream of instruction lengths covering `num_lines` 16-byte
+/// lines (the final instruction may spill into the next line).
+std::vector<int> generate_stream(const InstructionMix& mix, long num_lines,
+                                 int bytes_per_line, std::uint64_t seed);
+
+}  // namespace rtcad

@@ -1,0 +1,55 @@
+#include "rt/assumption.hpp"
+
+#include "util/strings.hpp"
+
+namespace rtcad {
+
+const char* to_string(RtOrigin o) {
+  switch (o) {
+    case RtOrigin::kUser: return "user";
+    case RtOrigin::kAutomatic: return "automatic";
+    case RtOrigin::kLazy: return "lazy";
+  }
+  return "?";
+}
+
+std::string to_string(const Stg& stg, const RtAssumption& a) {
+  return stg.edge_text(a.before) + " before " + stg.edge_text(a.after) +
+         " [" + to_string(a.origin) +
+         (a.rationale.empty() ? "" : ": " + a.rationale) + "]";
+}
+
+std::string to_string(const Stg& stg, const RtConstraint& c) {
+  return stg.edge_text(c.before) + " before " + stg.edge_text(c.after) +
+         (c.dependent ? " (dependent)" : "");
+}
+
+namespace {
+
+Edge parse_edge(const Stg& stg, const std::string& token) {
+  if (token.size() < 2 || (token.back() != '+' && token.back() != '-'))
+    throw Error("bad edge '" + token + "' (expected e.g. \"ri-\")");
+  const int sig = stg.signal_id(token.substr(0, token.size() - 1));
+  if (sig < 0) throw Error("unknown signal in edge '" + token + "'");
+  return Edge{sig,
+              token.back() == '+' ? Polarity::kRise : Polarity::kFall};
+}
+
+}  // namespace
+
+RtAssumption parse_assumption(const Stg& stg, const std::string& text) {
+  auto tokens = split(text);
+  // Accept "a+ < b-" and "a+ before b-".
+  if (tokens.size() == 3 && (tokens[1] == "<" || tokens[1] == "before")) {
+    RtAssumption a;
+    a.before = parse_edge(stg, tokens[0]);
+    a.after = parse_edge(stg, tokens[2]);
+    a.origin = RtOrigin::kUser;
+    a.rationale = "user-defined";
+    return a;
+  }
+  throw Error("cannot parse assumption '" + text +
+              "' (expected \"a+ before b-\")");
+}
+
+}  // namespace rtcad

@@ -1,0 +1,62 @@
+// Relative-timing assumptions and constraints.
+//
+// An ASSUMPTION is a relative ordering of two signal edges — "a+ fires
+// before b- whenever both are pending" — supplied by the user (architecture
+// and environment knowledge) or generated automatically from a simple delay
+// model. Assumptions license optimization: they prune interleavings from
+// the state graph and add local don't-cares.
+//
+// A CONSTRAINT is the back-annotated subset of assumptions the optimizer
+// actually relied on. Constraints must be met by the physical
+// implementation (sizing, layout, SPICE/separation verification) — they are
+// the contract the RT circuit ships with (Figure 2's "Timing constraints
+// Required" output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stg/signal.hpp"
+#include "stg/stg.hpp"
+
+namespace rtcad {
+
+enum class RtOrigin {
+  kUser,       ///< architectural/environmental knowledge (two input events)
+  kAutomatic,  ///< derived from the delay model ("1 gate beats 2 gates")
+  kLazy,       ///< early-enabling of a lazy signal during logic synthesis
+};
+
+const char* to_string(RtOrigin o);
+
+/// "`before` fires before `after` whenever both are excited."
+struct RtAssumption {
+  Edge before;
+  Edge after;
+  RtOrigin origin = RtOrigin::kAutomatic;
+  std::string rationale;
+
+  bool same_ordering(const RtAssumption& o) const {
+    return before == o.before && after == o.after;
+  }
+};
+
+/// Back-annotated requirement on the implementation.
+struct RtConstraint {
+  Edge before;
+  Edge after;
+  RtOrigin origin = RtOrigin::kAutomatic;
+  /// Part of a dependent pair: the implementation guarantees one of the
+  /// two holds structurally, only the other must be ensured (the paper's
+  /// "lo- before x+" / "ro- before x+" discussion).
+  bool dependent = false;
+  std::string rationale;
+};
+
+std::string to_string(const Stg& stg, const RtAssumption& a);
+std::string to_string(const Stg& stg, const RtConstraint& c);
+
+/// Convenience for user input: parse "a+ < b-" / "a+ before b-".
+RtAssumption parse_assumption(const Stg& stg, const std::string& text);
+
+}  // namespace rtcad

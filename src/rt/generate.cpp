@@ -1,0 +1,64 @@
+#include "rt/generate.hpp"
+
+#include <set>
+
+namespace rtcad {
+namespace {
+
+/// Delay class per the structural model: smaller = faster.
+int delay_class(const Stg& stg, int signal) {
+  switch (stg.signal(signal).kind) {
+    case SignalKind::kInternal: return 0;
+    case SignalKind::kOutput: return 1;
+    case SignalKind::kInput: return 2;
+  }
+  return 2;
+}
+
+}  // namespace
+
+std::vector<RtAssumption> generate_assumptions(const StateGraph& sg,
+                                               const GenerateOptions& opts) {
+  const Stg& stg = sg.stg();
+  std::set<std::pair<int, int>> emitted;  // (edge key before, after)
+  std::vector<RtAssumption> out;
+
+  auto edge_key = [](const Edge& e) {
+    return e.signal * 2 + (e.pol == Polarity::kRise ? 0 : 1);
+  };
+
+  for (int s = 0; s < sg.num_states(); ++s) {
+    // Collect excited edges at this state.
+    std::vector<Edge> excited;
+    for (int sig = 0; sig < stg.num_signals(); ++sig) {
+      for (Polarity pol : {Polarity::kRise, Polarity::kFall}) {
+        if (sg.excited(s, Edge{sig, pol}))
+          excited.push_back(Edge{sig, pol});
+      }
+    }
+    for (const Edge& fast : excited) {
+      for (const Edge& slow : excited) {
+        if (fast.signal == slow.signal) continue;
+        const int gap = delay_class(stg, slow.signal) -
+                        delay_class(stg, fast.signal);
+        const int required =
+            opts.outputs_beat_inputs ? 1 : opts.margin_classes;
+        if (gap < required) continue;
+        const auto key = std::make_pair(edge_key(fast), edge_key(slow));
+        if (!emitted.insert(key).second) continue;
+        RtAssumption a;
+        a.before = fast;
+        a.after = slow;
+        a.origin = RtOrigin::kAutomatic;
+        a.rationale =
+            std::string(to_string(stg.signal(fast.signal).kind)) +
+            " gate beats " + to_string(stg.signal(slow.signal).kind) +
+            " response";
+        out.push_back(a);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rtcad

@@ -1,0 +1,44 @@
+// Automatic generation of relative-timing assumptions from a simple delay
+// model — the "RT-assumption generation" box of Figure 2.
+//
+// The paper's rule of thumb is "one gate can be made faster than two".
+// Before logic exists, gate counts are approximated structurally on the
+// specification:
+//
+//  * an INTERNAL signal transition is one local gate;
+//  * an OUTPUT transition is one local gate plus wire/load;
+//  * an INPUT transition is an environment response: at least one foreign
+//    gate plus interconnect — the slowest class.
+//
+// Whenever two edges race (both excited in some reachable state), an
+// assumption is generated if the delay model puts them at least
+// `margin_classes` apart: internal beats input always, internal beats
+// output and output beats input only at margin 1.
+#pragma once
+
+#include <vector>
+
+#include "rt/assumption.hpp"
+#include "sg/stategraph.hpp"
+
+namespace rtcad {
+
+struct GenerateOptions {
+  /// Minimum delay-class gap required before an assumption is emitted:
+  /// 1 = aggressive (internal < output < input), 2 = conservative
+  /// (only internal-before-input).
+  int margin_classes = 2;
+  /// Also assume that an already-excited edge beats a not-yet-excited one
+  /// of the same class when the latter needs k more causal steps. Not used
+  /// at margin 2.
+  bool outputs_beat_inputs = false;
+};
+
+/// Scan the state graph for racing edge pairs and emit ordering
+/// assumptions per the delay model. Never emits user-class assumptions
+/// (two input events) — those cannot be derived from the circuit, as the
+/// paper stresses in Section 4.2.
+std::vector<RtAssumption> generate_assumptions(
+    const StateGraph& sg, const GenerateOptions& opts = {});
+
+}  // namespace rtcad

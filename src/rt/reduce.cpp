@@ -1,0 +1,45 @@
+#include "rt/reduce.hpp"
+
+namespace rtcad {
+
+ReduceResult reduce(const StateGraph& sg,
+                    const std::vector<RtAssumption>& assumptions) {
+  const Stg& stg = sg.stg();
+
+  std::vector<bool> used(assumptions.size(), false);
+
+  auto keep_edge = [&](int state, int transition) {
+    const auto& label = stg.transition(transition).label;
+    if (!label) return true;  // silent transitions always kept...
+    // ...and always win races: under RT semantics an ε models a zero-delay
+    // internal event, so observable transitions wait for pending ε's.
+    for (const auto& [t, to] : sg.state(state).succ) {
+      if (stg.transition(t).is_silent()) return false;
+    }
+    for (std::size_t i = 0; i < assumptions.size(); ++i) {
+      const RtAssumption& a = assumptions[i];
+      if (!(*label == a.after)) continue;
+      // "before" must win whenever both are excited: drop this firing.
+      if (sg.excited(state, a.before)) {
+        used[i] = true;
+        return false;
+      }
+    }
+    return true;
+  };
+
+  ReduceResult out{sg.filtered(keep_edge), {}, 0, 0, 0};
+  out.edges_removed = sg.num_edges() - out.sg.num_edges();
+  out.states_removed = sg.num_states() - out.sg.num_states();
+  for (std::size_t i = 0; i < assumptions.size(); ++i) {
+    if (used[i]) out.used.push_back(assumptions[i]);
+  }
+  for (int s = 0; s < out.sg.num_states(); ++s) {
+    const int old_s = out.sg.old_state_of(s);
+    if (out.sg.state(s).succ.empty() && !sg.state(old_s).succ.empty())
+      ++out.deadlocked_states;
+  }
+  return out;
+}
+
+}  // namespace rtcad

@@ -1,0 +1,31 @@
+// Concurrency reduction: apply relative-timing assumptions to a state
+// graph. An assumption "u before v" removes, from every state where both
+// edges are excited, the interleavings in which v fires first; states that
+// become unreachable disappear. The result is the paper's LAZY STATE GRAPH:
+// fewer reachable states means more don't-cares for every signal, which is
+// optimization mechanism #1 of Section 3.
+#pragma once
+
+#include <vector>
+
+#include "rt/assumption.hpp"
+#include "sg/stategraph.hpp"
+
+namespace rtcad {
+
+struct ReduceResult {
+  StateGraph sg;
+  /// Assumptions that actually removed at least one edge (candidates for
+  /// back-annotation; the rest were vacuous on this specification).
+  std::vector<RtAssumption> used;
+  int edges_removed = 0;
+  int states_removed = 0;
+  /// States that lost ALL outgoing edges even though the spec had some —
+  /// contradictory assumptions (e.g. both orderings of the same race).
+  int deadlocked_states = 0;
+};
+
+ReduceResult reduce(const StateGraph& sg,
+                    const std::vector<RtAssumption>& assumptions);
+
+}  // namespace rtcad

@@ -1,0 +1,101 @@
+#include "sg/analysis.hpp"
+
+#include <map>
+#include <unordered_map>
+
+namespace rtcad {
+
+SgAnalysis analyze(const StateGraph& sg, std::size_t max_reported) {
+  const Stg& stg = sg.stg();
+  SgAnalysis out;
+
+  // --- output persistency --------------------------------------------
+  for (int s = 0; s < sg.num_states(); ++s) {
+    const auto& st = sg.state(s);
+    for (const auto& [t, to] : st.succ) {
+      const auto& label = stg.transition(t).label;
+      if (!label) continue;
+      if (stg.is_input(label->signal)) continue;  // inputs may be disabled
+      for (const auto& [t2, to2] : st.succ) {
+        if (t2 == t) continue;
+        const auto& label2 = stg.transition(t2).label;
+        if (label2 && label2->signal == label->signal) continue;
+        // After t2 fires, the edge of t must still be excited.
+        if (!sg.excited(to2, *label)) {
+          if (out.persistency.size() < max_reported)
+            out.persistency.push_back({s, t, t2});
+        }
+      }
+    }
+  }
+
+  // --- complete state coding -------------------------------------------
+  // Group states by code; within a class, all states must agree on the
+  // next-state target of every non-input signal.
+  std::uint64_t noninput_mask = 0;
+  for (int sig = 0; sig < stg.num_signals(); ++sig) {
+    if (!stg.is_input(sig)) noninput_mask |= std::uint64_t{1} << sig;
+  }
+
+  std::unordered_map<std::uint64_t, std::vector<int>> classes;
+  for (int s = 0; s < sg.num_states(); ++s) classes[sg.code(s)].push_back(s);
+
+  auto target_mask = [&](int state) {
+    std::uint64_t m = 0;
+    for (int sig = 0; sig < stg.num_signals(); ++sig) {
+      if (!(noninput_mask >> sig & 1)) continue;
+      if (sg.target_value(state, sig)) m |= std::uint64_t{1} << sig;
+    }
+    return m;
+  };
+
+  for (auto& [code, members] : classes) {
+    if (members.size() < 2) continue;
+    ++out.usc_classes;
+    // Distinct target signatures within the class.
+    std::map<std::uint64_t, int> signatures;  // signature -> first state
+    for (int s : members) {
+      const std::uint64_t sig = target_mask(s);
+      auto [it, inserted] = signatures.emplace(sig, s);
+      if (!inserted) continue;
+    }
+    if (signatures.size() < 2) continue;
+    // Report a conflict between each pair of distinct signatures.
+    for (auto a = signatures.begin(); a != signatures.end(); ++a) {
+      for (auto b = std::next(a); b != signatures.end(); ++b) {
+        if (out.csc_conflicts.size() >= max_reported) break;
+        out.csc_conflicts.push_back(
+            {a->second, b->second, a->first ^ b->first});
+      }
+    }
+  }
+  return out;
+}
+
+std::string describe(const StateGraph& sg, const CscConflict& c) {
+  const Stg& stg = sg.stg();
+  std::string out = "CSC conflict between states " +
+                    std::to_string(c.state_a) + " and " +
+                    std::to_string(c.state_b) + " (code ";
+  for (int sig = stg.num_signals() - 1; sig >= 0; --sig)
+    out += sg.value(c.state_a, sig) ? '1' : '0';
+  out += ") on signals {";
+  bool first = true;
+  for (int sig = 0; sig < stg.num_signals(); ++sig) {
+    if (!(c.differing_signals >> sig & 1)) continue;
+    if (!first) out += ", ";
+    out += stg.signal(sig).name;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::string describe(const StateGraph& sg, const PersistencyViolation& v) {
+  const Stg& stg = sg.stg();
+  return "state " + std::to_string(v.state) + ": firing " +
+         stg.transition_name(v.by_transition) + " disables " +
+         stg.transition_name(v.disabled_transition);
+}
+
+}  // namespace rtcad

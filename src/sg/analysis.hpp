@@ -1,0 +1,47 @@
+// Implementability analysis over the state graph: output persistency
+// (speed-independence) and Complete State Coding, the two properties the
+// paper's Figure 2 flow establishes before logic synthesis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sg/stategraph.hpp"
+
+namespace rtcad {
+
+/// An enabled non-input transition was disabled by another firing — a
+/// potential hazard; the specification is not speed-independent.
+struct PersistencyViolation {
+  int state = -1;
+  int disabled_transition = -1;  ///< transition whose edge got disabled
+  int by_transition = -1;        ///< transition that fired
+};
+
+/// Two reachable states share a binary code but disagree on the next-state
+/// behaviour of at least one non-input signal.
+struct CscConflict {
+  int state_a = -1;
+  int state_b = -1;
+  std::uint64_t differing_signals = 0;  ///< bitmask of conflicting signals
+};
+
+struct SgAnalysis {
+  std::vector<PersistencyViolation> persistency;
+  std::vector<CscConflict> csc_conflicts;
+  /// Number of code classes holding more than one state (USC violations);
+  /// benign unless they also appear in csc_conflicts.
+  int usc_classes = 0;
+
+  bool speed_independent() const { return persistency.empty(); }
+  bool has_csc() const { return csc_conflicts.empty(); }
+};
+
+SgAnalysis analyze(const StateGraph& sg, std::size_t max_reported = 1000);
+
+/// Render one conflict for logs/tests.
+std::string describe(const StateGraph& sg, const CscConflict& c);
+std::string describe(const StateGraph& sg, const PersistencyViolation& v);
+
+}  // namespace rtcad

@@ -1,0 +1,53 @@
+#include "sg/dot.hpp"
+
+#include "util/strings.hpp"
+
+namespace rtcad {
+
+std::string stg_to_dot(const Stg& stg) {
+  std::string out = "digraph \"" + stg.name() + "\" {\n  rankdir=TB;\n";
+  for (int t = 0; t < stg.num_transitions(); ++t) {
+    out += strprintf("  t%d [shape=box,label=\"%s\"];\n", t,
+                     stg.transition_name(t).c_str());
+  }
+  for (int p = 0; p < stg.num_places(); ++p) {
+    const auto& place = stg.place(p);
+    const bool implicit = !place.name.empty() && place.name[0] == '<' &&
+                          place.pre.size() == 1 && place.post.size() == 1;
+    if (implicit && place.initial_tokens == 0) {
+      // Draw implicit unmarked places as plain arcs.
+      out += strprintf("  t%d -> t%d;\n", place.pre[0], place.post[0]);
+      continue;
+    }
+    out += strprintf(
+        "  p%d [shape=circle,label=\"%s\"%s];\n", p,
+        place.initial_tokens > 0 ? "&bull;" : "",
+        place.initial_tokens > 0 ? ",style=filled,fillcolor=lightgrey" : "");
+    for (int t : place.pre) out += strprintf("  t%d -> p%d;\n", t, p);
+    for (int t : place.post) out += strprintf("  p%d -> t%d;\n", p, t);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string sg_to_dot(const StateGraph& sg) {
+  const Stg& stg = sg.stg();
+  std::string out = "digraph \"" + stg.name() + "_sg\" {\n";
+  for (int s = 0; s < sg.num_states(); ++s) {
+    std::string code;
+    for (int sig = stg.num_signals() - 1; sig >= 0; --sig)
+      code += sg.value(s, sig) ? '1' : '0';
+    out += strprintf("  s%d [label=\"%s\"%s];\n", s, code.c_str(),
+                     s == 0 ? ",style=filled,fillcolor=lightgrey" : "");
+  }
+  for (int s = 0; s < sg.num_states(); ++s) {
+    for (const auto& [t, to] : sg.state(s).succ) {
+      out += strprintf("  s%d -> s%d [label=\"%s\"];\n", s, to,
+                       stg.transition_name(t).c_str());
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rtcad

@@ -1,0 +1,19 @@
+// Graphviz exports for documentation and debugging: STGs as place/
+// transition graphs, state graphs with binary codes.
+#pragma once
+
+#include <string>
+
+#include "sg/stategraph.hpp"
+#include "stg/stg.hpp"
+
+namespace rtcad {
+
+/// dot digraph of the Petri-net structure: transitions as boxes, explicit/
+/// implicit places as circles (dots for unmarked implicit ones).
+std::string stg_to_dot(const Stg& stg);
+
+/// dot digraph of the reachability graph; nodes show the binary code.
+std::string sg_to_dot(const StateGraph& sg);
+
+}  // namespace rtcad

@@ -1,0 +1,142 @@
+#include "sg/encode.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace rtcad {
+namespace {
+
+/// Insert one transition of signal `sig`/`pol` after `trigger`, delaying
+/// all current successors of `trigger`.
+void insert_edge_after(Stg& stg, int sig, Polarity pol, int trigger) {
+  const int t_new = stg.add_transition(Edge{sig, pol});
+  // Take over the trigger's post places.
+  const std::vector<int> posts = stg.transition(trigger).post;
+  for (int p : posts) {
+    stg.remove_arc_tp(trigger, p);
+    stg.add_arc_tp(t_new, p);
+  }
+  stg.add_arc_tt(trigger, t_new);
+}
+
+struct Candidate {
+  int rise_trigger = -1;
+  int fall_trigger = -1;
+  int remaining_conflicts = 0;
+  int serialization = 0;  ///< states where only the new signal is enabled
+  int states = 0;
+  Stg stg;
+};
+
+/// Count states whose only enabled transitions belong to signal `sig` —
+/// in such states the new signal is the sole critical event.
+int serialization_score(const StateGraph& sg, int sig) {
+  int score = 0;
+  for (int s = 0; s < sg.num_states(); ++s) {
+    const auto& st = sg.state(s);
+    if (st.succ.empty()) continue;
+    bool all_new = true;
+    for (const auto& [t, to] : st.succ) {
+      const auto& label = sg.stg().transition(t).label;
+      if (!label || label->signal != sig) {
+        all_new = false;
+        break;
+      }
+    }
+    if (all_new) ++score;
+  }
+  return score;
+}
+
+}  // namespace
+
+Stg insert_state_signal(const Stg& spec, const std::string& name,
+                        int rise_trigger, int fall_trigger) {
+  Stg stg = spec;
+  const int x = stg.add_signal(name, SignalKind::kInternal);
+  insert_edge_after(stg, x, Polarity::kRise, rise_trigger);
+  insert_edge_after(stg, x, Polarity::kFall, fall_trigger);
+  return stg;
+}
+
+EncodeResult solve_csc(const Stg& spec, const EncodeOptions& opts) {
+  EncodeResult result{spec, 0, false, {}};
+
+  for (int round = 0;; ++round) {
+    StateGraph sg = StateGraph::build(result.stg, opts.sg);
+    const SgAnalysis analysis = analyze(sg);
+    if (analysis.has_csc()) {
+      result.solved = true;
+      result.log.push_back("round " + std::to_string(round) +
+                           ": no CSC conflicts remain");
+      return result;
+    }
+    if (result.signals_added >= opts.max_state_signals) {
+      result.log.push_back("gave up: " +
+                           std::to_string(analysis.csc_conflicts.size()) +
+                           " conflicts remain after " +
+                           std::to_string(result.signals_added) +
+                           " insertions");
+      return result;
+    }
+
+    const std::string name = "csc" + std::to_string(result.signals_added);
+    const int base_conflicts =
+        static_cast<int>(analysis.csc_conflicts.size());
+    const std::size_t base_persistency = analysis.persistency.size();
+
+    std::optional<Candidate> best;
+    const int num_t = result.stg.num_transitions();
+    for (int a = 0; a < num_t; ++a) {
+      if (result.stg.transition(a).is_silent()) continue;
+      for (int b = 0; b < num_t; ++b) {
+        if (b == a || result.stg.transition(b).is_silent()) continue;
+        Stg candidate_stg = insert_state_signal(result.stg, name, a, b);
+        Candidate cand;
+        cand.rise_trigger = a;
+        cand.fall_trigger = b;
+        try {
+          StateGraph csg = StateGraph::build(candidate_stg, opts.sg);
+          const SgAnalysis ca = analyze(csg);
+          if (ca.persistency.size() > base_persistency)
+            continue;  // insertion introduced new hazards: reject
+          cand.remaining_conflicts =
+              static_cast<int>(ca.csc_conflicts.size());
+          const int new_sig = candidate_stg.num_signals() - 1;
+          cand.serialization =
+              opts.timing_aware ? serialization_score(csg, new_sig) : 0;
+          cand.states = csg.num_states();
+        } catch (const SpecError&) {
+          continue;  // inconsistent / unbounded insertion
+        }
+        if (cand.remaining_conflicts >= base_conflicts) continue;
+        cand.stg = std::move(candidate_stg);
+        const auto better = [](const Candidate& l, const Candidate& r) {
+          if (l.remaining_conflicts != r.remaining_conflicts)
+            return l.remaining_conflicts < r.remaining_conflicts;
+          if (l.serialization != r.serialization)
+            return l.serialization < r.serialization;
+          return l.states > r.states;  // keep more concurrency
+        };
+        if (!best || better(cand, *best)) best = std::move(cand);
+      }
+    }
+
+    if (!best) {
+      result.log.push_back(
+          "no single insertion reduces conflicts; giving up with " +
+          std::to_string(base_conflicts) + " conflicts");
+      return result;
+    }
+    result.log.push_back(
+        "round " + std::to_string(round) + ": inserted " + name + "+ after " +
+        result.stg.transition_name(best->rise_trigger) + ", " + name +
+        "- after " + result.stg.transition_name(best->fall_trigger) + " (" +
+        std::to_string(base_conflicts) + " -> " +
+        std::to_string(best->remaining_conflicts) + " conflicts)");
+    result.stg = std::move(best->stg);
+    ++result.signals_added;
+  }
+}
+
+}  // namespace rtcad

@@ -1,0 +1,45 @@
+// Timing-aware state encoding: the "Timing-aware State encoding" box of
+// Figure 2. Resolves CSC conflicts by inserting internal state signals via
+// event insertion: x+ is inserted after a trigger transition (delaying all
+// of that transition's successors so x+ is acknowledged), and likewise x-.
+//
+// The solver enumerates trigger pairs, rebuilds the state graph for each
+// candidate, and keeps insertions that (a) stay consistent, (b) strictly
+// reduce CSC conflicts. Among successful candidates it prefers — this is
+// the "timing-aware" part the paper highlights — insertions whose new
+// signal transitions serialize the fewest states (a proxy for staying off
+// the critical path, so that relative-timing laziness can later remove them
+// from it entirely).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sg/analysis.hpp"
+#include "sg/stategraph.hpp"
+
+namespace rtcad {
+
+struct EncodeOptions {
+  int max_state_signals = 3;
+  bool timing_aware = true;
+  SgOptions sg;
+};
+
+struct EncodeResult {
+  Stg stg;                ///< specification with inserted state signals
+  int signals_added = 0;
+  bool solved = false;    ///< all CSC conflicts resolved
+  std::vector<std::string> log;
+};
+
+/// Insert state signal `name` with x+ after transition `rise_trigger` and
+/// x- after `fall_trigger` (both delaying all successors of the trigger).
+/// Pure transform; no feasibility check.
+Stg insert_state_signal(const Stg& spec, const std::string& name,
+                        int rise_trigger, int fall_trigger);
+
+/// Resolve CSC conflicts by iterated state-signal insertion.
+EncodeResult solve_csc(const Stg& spec, const EncodeOptions& opts = {});
+
+}  // namespace rtcad

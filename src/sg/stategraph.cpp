@@ -1,0 +1,186 @@
+#include "sg/stategraph.hpp"
+
+#include <deque>
+
+namespace rtcad {
+namespace {
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const { return marking_hash(m); }
+};
+
+}  // namespace
+
+StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
+  RTCAD_EXPECTS(stg.num_signals() <= 64);
+  StateGraph sg;
+  sg.stg_ = stg;
+
+  // Phase 1: explore markings, assigning each a parity vector
+  // (bit s = number of s-transitions fired along the discovery path, mod 2)
+  // and collecting constraints on the initial values v0.
+  std::unordered_map<Marking, int, MarkingHash> index;
+  std::vector<std::uint64_t> parity;
+  std::vector<signed char> v0(64, -1);  // -1 unknown, else 0/1
+
+  const Marking m0 = stg.initial_marking();
+  index.emplace(m0, 0);
+  sg.states_.push_back(SgState{m0, 0, {}});
+  parity.push_back(0);
+
+  std::deque<int> queue{0};
+  while (!queue.empty()) {
+    const int si = queue.front();
+    queue.pop_front();
+    // Copy: states_ may reallocate while pushing successors.
+    const Marking marking = sg.states_[si].marking;
+    const std::uint64_t par = parity[si];
+
+    for (int t : stg.enabled_transitions(marking)) {
+      std::uint64_t next_par = par;
+      if (stg.transition(t).label.has_value()) {
+        const Edge label = *stg.transition(t).label;
+        // v(s) at this marking is v0(s) ^ parity; s+ requires v=0, s- v=1.
+        const int pre_parity =
+            static_cast<int>((par >> label.signal) & 1);
+        const int required_v0 =
+            (label.pol == Polarity::kRise) ? pre_parity : 1 - pre_parity;
+        if (v0[label.signal] == -1) {
+          v0[label.signal] = static_cast<signed char>(required_v0);
+        } else if (v0[label.signal] != required_v0) {
+          throw SpecError("STG '" + stg.name() +
+                          "' is inconsistent: signal '" +
+                          stg.signal(label.signal).name +
+                          "' requires contradictory initial values");
+        }
+        next_par ^= std::uint64_t{1} << label.signal;
+      }
+      const Marking next = stg.fire(marking, t);
+      const int candidate_id = static_cast<int>(sg.states_.size());
+      const auto insertion = index.emplace(next, candidate_id);
+      const int succ_id = insertion.first->second;
+      if (insertion.second) {
+        if (sg.states_.size() >= opts.max_states)
+          throw SpecError("state graph of '" + stg.name() + "' exceeds " +
+                          std::to_string(opts.max_states) + " states");
+        sg.states_.push_back(SgState{next, 0, {}});
+        parity.push_back(next_par);
+        queue.push_back(succ_id);
+      } else if (parity[succ_id] != next_par) {
+        throw SpecError("STG '" + stg.name() +
+                        "' is inconsistent: switching parity differs "
+                        "between paths to the same marking");
+      }
+      sg.states_[si].succ.emplace_back(t, succ_id);
+      ++sg.num_edges_;
+    }
+  }
+
+  // Signals with an explicitly declared initial value win over inference
+  // only when inference produced no constraint.
+  std::uint64_t v0_value = 0;
+  for (int s = 0; s < stg.num_signals(); ++s) {
+    if (v0[s] == 1 || (v0[s] == -1 && stg.signal(s).initial_value == 1))
+      v0_value |= std::uint64_t{1} << s;
+  }
+
+  // Phase 2: final codes.
+  for (std::size_t i = 0; i < sg.states_.size(); ++i)
+    sg.states_[i].code = v0_value ^ parity[i];
+
+  sg.compute_excitation();
+  return sg;
+}
+
+void StateGraph::compute_excitation() {
+  const int n = num_states();
+  excited_rise_.assign(n, 0);
+  excited_fall_.assign(n, 0);
+  // Direct enablement.
+  for (int s = 0; s < n; ++s) {
+    for (const auto& [t, to] : states_[s].succ) {
+      if (const auto& label = stg_.transition(t).label) {
+        const std::uint64_t bit = std::uint64_t{1} << label->signal;
+        if (label->pol == Polarity::kRise)
+          excited_rise_[s] |= bit;
+        else
+          excited_fall_[s] |= bit;
+      }
+    }
+  }
+  // Close backwards over silent edges: if σ --ε--> σ' and σ' excites e,
+  // then σ already excites e (the circuit cannot observe ε).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int s = 0; s < n; ++s) {
+      for (const auto& [t, to] : states_[s].succ) {
+        if (!stg_.transition(t).is_silent()) continue;
+        const std::uint64_t nr = excited_rise_[s] | excited_rise_[to];
+        const std::uint64_t nf = excited_fall_[s] | excited_fall_[to];
+        if (nr != excited_rise_[s] || nf != excited_fall_[s]) {
+          excited_rise_[s] = nr;
+          excited_fall_[s] = nf;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+StateGraph StateGraph::filtered(
+    const std::function<bool(int state, int transition)>& keep_edge) const {
+  StateGraph out;
+  out.stg_ = stg_;
+
+  std::vector<int> new_id(states_.size(), -1);
+  std::deque<int> queue;
+  new_id[0] = 0;
+  out.states_.push_back(SgState{states_[0].marking, states_[0].code, {}});
+  out.old_state_.push_back(old_state_of(0));
+  queue.push_back(0);
+
+  while (!queue.empty()) {
+    const int old_s = queue.front();
+    queue.pop_front();
+    for (const auto& [t, to] : states_[old_s].succ) {
+      if (!keep_edge(old_s, t)) continue;
+      if (new_id[to] < 0) {
+        new_id[to] = static_cast<int>(out.states_.size());
+        out.states_.push_back(SgState{states_[to].marking, states_[to].code,
+                                      {}});
+        out.old_state_.push_back(old_state_of(to));
+        queue.push_back(to);
+      }
+      out.states_[new_id[old_s]].succ.emplace_back(t, new_id[to]);
+      ++out.num_edges_;
+    }
+  }
+  out.compute_excitation();
+  return out;
+}
+
+bool StateGraph::edge_enabled(int state, const Edge& e) const {
+  for (const auto& [t, to] : states_[state].succ) {
+    const auto& label = stg_.transition(t).label;
+    if (label && *label == e) return true;
+  }
+  return false;
+}
+
+int StateGraph::successor(int state, const Edge& e) const {
+  for (const auto& [t, to] : states_[state].succ) {
+    const auto& label = stg_.transition(t).label;
+    if (label && *label == e) return to;
+  }
+  return -1;
+}
+
+int StateGraph::successor_by_transition(int state, int transition) const {
+  for (const auto& [t, to] : states_[state].succ) {
+    if (t == transition) return to;
+  }
+  return -1;
+}
+
+}  // namespace rtcad

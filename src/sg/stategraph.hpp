@@ -1,0 +1,100 @@
+// State graph: the reachability graph of an STG with a binary signal code
+// per state. Implements the "Reachability analysis" box of the paper's
+// Figure 2 design flow.
+//
+// Signal values are inferred from transition parities: along any path, the
+// value of signal s is v0(s) XOR (number of s-transitions fired mod 2).
+// Consistency (every s+ fires with s=0, s- with s=1, no path disagreement)
+// is checked during construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "stg/stg.hpp"
+
+namespace rtcad {
+
+struct SgOptions {
+  std::size_t max_states = std::size_t{1} << 20;
+};
+
+struct SgState {
+  Marking marking;
+  std::uint64_t code = 0;  ///< bit s = value of signal s
+  /// Outgoing edges as (transition id, successor state id).
+  std::vector<std::pair<int, int>> succ;
+};
+
+class StateGraph {
+ public:
+  /// Explore the full reachability graph. Throws SpecError on
+  /// inconsistency, unboundedness, or state overflow. The StateGraph keeps
+  /// its own copy of the specification (callers may pass temporaries).
+  static StateGraph build(const Stg& stg, const SgOptions& opts = {});
+
+  const Stg& stg() const { return stg_; }
+  int num_states() const { return static_cast<int>(states_.size()); }
+  const SgState& state(int i) const { return states_[i]; }
+  int initial_state() const { return 0; }
+  std::uint64_t code(int i) const { return states_[i].code; }
+  bool value(int state, int signal) const {
+    return (states_[state].code >> signal) & 1;
+  }
+  /// Initial value of every signal, as inferred (bit per signal).
+  std::uint64_t initial_code() const { return states_[0].code; }
+
+  int num_edges() const { return num_edges_; }
+
+  /// Is some transition labelled with this edge enabled at the state?
+  bool edge_enabled(int state, const Edge& e) const;
+  /// Successor of `state` under any transition labelled `e`; -1 if none.
+  int successor(int state, const Edge& e) const;
+  /// Successor under a specific transition id; -1 if not enabled.
+  int successor_by_transition(int state, int transition) const;
+
+  /// States from which `state` is reachable via silent (ε) transitions
+  /// only, including itself — used to close excitation over dummies.
+  /// Returned lazily as the precomputed silent-closure excitation bitmasks:
+  /// excited_rise(s, sig) / excited_fall(s, sig).
+  bool excited(int state, const Edge& e) const {
+    const auto& m =
+        e.pol == Polarity::kRise ? excited_rise_ : excited_fall_;
+    return (m[state] >> e.signal) & 1;
+  }
+
+  /// Next-state function target: the value signal `sig` is heading to at
+  /// `state` (1 if rising excited or stably 1; 0 if falling excited or
+  /// stably 0).
+  bool target_value(int state, int sig) const {
+    if (excited(state, Edge{sig, Polarity::kRise})) return true;
+    if (excited(state, Edge{sig, Polarity::kFall})) return false;
+    return value(state, sig);
+  }
+
+  /// Restrict the graph to the edges for which `keep_edge(state,
+  /// transition)` holds, dropping states that become unreachable from the
+  /// initial state, and recompute excitation. This is the concurrency-
+  /// reduction primitive of the relative-timing engine. State ids change;
+  /// `old_state_of(new_id)` maps back.
+  StateGraph filtered(
+      const std::function<bool(int state, int transition)>& keep_edge) const;
+  int old_state_of(int state) const {
+    return old_state_.empty() ? state : old_state_[state];
+  }
+
+ private:
+  Stg stg_;
+  std::vector<SgState> states_;
+  std::vector<int> old_state_;  ///< for filtered graphs: new id -> original
+  int num_edges_ = 0;
+  /// Per-state bitmask over signals: some s+/s- enabled here or reachable
+  /// through silent transitions alone.
+  std::vector<std::uint64_t> excited_rise_, excited_fall_;
+
+  void compute_excitation();
+};
+
+}  // namespace rtcad

@@ -1,0 +1,128 @@
+#include "sim/sim.hpp"
+
+namespace rtcad {
+
+Simulator::Simulator(const Netlist& netlist, const SimOptions& opts)
+    : netlist_(&netlist), opts_(opts), rng_(opts.seed) {
+  netlist.validate();
+  const int nn = netlist.num_nets();
+  value_.resize(nn);
+  stuck_.assign(nn, false);
+  pending_id_.assign(nn, 0);
+  pending_value_.assign(nn, false);
+  net_transitions_.assign(nn, 0);
+  for (int n = 0; n < nn; ++n) value_[n] = netlist.net(n).initial_value;
+  gate_factor_.resize(netlist.num_gates());
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    const double v = opts_.variation;
+    gate_factor_[g] =
+        netlist.gate(g).delay_scale * (v > 0 ? rng_.uniform(1 - v, 1 + v) : 1);
+  }
+  // Settle gates whose initial output disagrees with their inputs.
+  for (int g = 0; g < netlist.num_gates(); ++g) evaluate_gate(g);
+}
+
+void Simulator::schedule(int net, bool value, double delay_ps, bool forced) {
+  if (stuck_[net]) return;
+  const Event e{now_ + delay_ps, next_id_++, net, value, forced};
+  if (!forced) {
+    pending_id_[net] = e.id;
+    pending_value_[net] = value;
+  }
+  queue_.push(e);
+}
+
+void Simulator::cancel_pending(int net) {
+  if (pending_id_[net] != 0) {
+    pending_id_[net] = 0;
+    ++cancelled_;
+  }
+}
+
+void Simulator::set_input(int net, bool value, double delay_ps) {
+  RTCAD_EXPECTS(netlist_->net(net).is_primary_input);
+  schedule(net, value, delay_ps, /*forced=*/true);
+}
+
+void Simulator::force_stuck(int net, bool value) {
+  pending_id_[net] = 0;  // silently drop, not a hazard
+  stuck_[net] = true;
+  if (value_[net] != value) {
+    value_[net] = value;
+    for (int g : netlist_->net(net).fanout) evaluate_gate(g);
+  }
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Event e = queue_.top();
+    queue_.pop();
+    if (!e.forced && pending_id_[e.net] != e.id)
+      continue;  // cancelled / superseded
+    if (e.forced && stuck_[e.net]) continue;
+    apply(e);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(double time_limit_ps) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > time_limit_ps) break;
+    step();
+  }
+}
+
+void Simulator::apply(const Event& e) {
+  if (!e.forced) pending_id_[e.net] = 0;
+  now_ = e.time;
+  if (value_[e.net] == e.value) return;
+  value_[e.net] = e.value;
+  ++transitions_;
+  ++net_transitions_[e.net];
+  const int driver = netlist_->net(e.net).driver;
+  if (driver >= 0) {
+    energy_fj_ +=
+        Library::standard().cell(netlist_->gate(driver).cell).energy_fj;
+  }
+  for (int g : netlist_->net(e.net).fanout) evaluate_gate(g);
+  for (const auto& w : watchers_) w(e.net, e.value, now_);
+}
+
+void Simulator::evaluate_gate(int gate) {
+  const auto& g = netlist_->gate(gate);
+  const CellType& type = Library::standard().cell(g.cell);
+  if (stuck_[g.output]) return;
+
+  std::vector<bool> pins(g.inputs.size());
+  for (std::size_t i = 0; i < g.inputs.size(); ++i)
+    pins[i] = value_[g.inputs[i]];
+  const int next = eval_cell(type.kind, pins, value_[g.output]);
+
+  if (next < 0) {
+    // Hold: any pending change lost its excitation (inertial filtering).
+    cancel_pending(g.output);
+    return;
+  }
+  const bool v = next != 0;
+  if (v == value_[g.output]) {
+    // Back to current value before the pending change fired: glitch averted.
+    cancel_pending(g.output);
+    return;
+  }
+  if (pending_id_[g.output] != 0 && pending_value_[g.output] == v)
+    return;  // already on its way; keep the earlier arrival time
+  const double j = opts_.jitter;
+  const double delay = type.delay_ps * gate_factor_[gate] *
+                       (j > 0 ? rng_.uniform(1 - j, 1 + j) : 1);
+  schedule(g.output, v, delay);
+}
+
+void Simulator::reset_metrics() {
+  energy_fj_ = 0.0;
+  transitions_ = 0;
+  cancelled_ = 0;
+  net_transitions_.assign(net_transitions_.size(), 0);
+}
+
+}  // namespace rtcad

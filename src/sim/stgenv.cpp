@@ -1,0 +1,147 @@
+#include "sim/stgenv.hpp"
+
+#include "util/strings.hpp"
+
+namespace rtcad {
+
+StgEnvironment::StgEnvironment(const Stg& spec, Simulator& sim,
+                               const StgEnvOptions& opts)
+    : spec_(spec),
+      sim_(&sim),
+      opts_(opts),
+      rng_(opts.seed),
+      marking_(spec.initial_marking()) {
+  signal_net_.assign(spec.num_signals(), -1);
+  input_pending_.assign(spec.num_signals(), false);
+  for (int s = 0; s < spec.num_signals(); ++s) {
+    // Internal spec signals are unobservable: their transitions are fired
+    // eagerly with the silent closure, and the matching net (if any) is
+    // not monitored — lazy implementations move them freely in time.
+    if (spec.signal(s).kind == SignalKind::kInternal) {
+      signal_net_[s] = -1;
+      continue;
+    }
+    const int net = sim.netlist().find_net(spec.signal(s).name);
+    if (net < 0)
+      throw SpecError("environment: spec signal '" + spec.signal(s).name +
+                      "' has no net in the netlist");
+    signal_net_[s] = net;
+  }
+  cycle_signal_ = opts.cycle_signal;
+  if (cycle_signal_ < 0) {
+    for (int s = 0; s < spec.num_signals(); ++s) {
+      if (spec.signal(s).kind == SignalKind::kOutput) {
+        cycle_signal_ = s;
+        break;
+      }
+    }
+  }
+  RTCAD_EXPECTS(cycle_signal_ >= 0);
+}
+
+void StgEnvironment::start() {
+  sim_->add_watcher([this](int net, bool value, double time) {
+    on_net_change(net, value, time);
+  });
+  fire_silent_closure();
+  schedule_enabled_inputs();
+}
+
+bool StgEnvironment::fire_edge(const Edge& e) {
+  for (int t : spec_.enabled_transitions(marking_)) {
+    const auto& label = spec_.transition(t).label;
+    if (label && *label == e) {
+      marking_ = spec_.fire(marking_, t);
+      return true;
+    }
+  }
+  return false;
+}
+
+void StgEnvironment::fire_silent_closure() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int t : spec_.enabled_transitions(marking_)) {
+      const auto& label = spec_.transition(t).label;
+      const bool unobservable =
+          !label ||
+          spec_.signal(label->signal).kind == SignalKind::kInternal;
+      if (unobservable) {
+        marking_ = spec_.fire(marking_, t);
+        progress = true;
+        break;
+      }
+    }
+  }
+}
+
+void StgEnvironment::schedule_enabled_inputs() {
+  for (int t : spec_.enabled_transitions(marking_)) {
+    const auto& label = spec_.transition(t).label;
+    if (!label) continue;
+    if (!spec_.is_input(label->signal)) continue;
+    if (input_pending_[label->signal]) continue;
+    const int net = signal_net_[label->signal];
+    if (net < 0) continue;
+    input_pending_[label->signal] = true;
+    const double d =
+        rng_.uniform(opts_.input_delay_min_ps, opts_.input_delay_max_ps);
+    sim_->set_input(net, label->pol == Polarity::kRise, d);
+  }
+}
+
+void StgEnvironment::on_net_change(int net, bool value, double time) {
+  // Map back to a spec signal.
+  int sig = -1;
+  for (int s = 0; s < spec_.num_signals(); ++s) {
+    if (signal_net_[s] == net) {
+      sig = s;
+      break;
+    }
+  }
+  if (sig < 0) return;  // internal implementation net
+
+  const Edge e{sig, value ? Polarity::kRise : Polarity::kFall};
+  if (spec_.is_input(sig)) {
+    input_pending_[sig] = false;
+    if (!fire_edge(e)) {
+      violations_.push_back(
+          {time, "environment raced itself on input " + spec_.edge_text(e)});
+    }
+  } else {
+    if (!fire_edge(e)) {
+      violations_.push_back(
+          {time, "unexpected output transition " + spec_.edge_text(e)});
+    }
+  }
+  if (sig == cycle_signal_ && value) cycle_times_.push_back(time);
+  fire_silent_closure();
+  schedule_enabled_inputs();
+}
+
+bool StgEnvironment::deadlocked() const {
+  // The spec still allows behaviour, but nothing is in flight: no input is
+  // pending and the circuit owes an output it never produced.
+  for (bool pending : input_pending_)
+    if (pending) return false;
+  return !spec_.enabled_transitions(marking_).empty();
+}
+
+CycleStats cycle_stats(const std::vector<double>& timestamps, long warmup) {
+  CycleStats out;
+  if (static_cast<long>(timestamps.size()) <= warmup + 1) return out;
+  double prev = timestamps[warmup];
+  for (std::size_t i = warmup + 1; i < timestamps.size(); ++i) {
+    const double dt = timestamps[i] - prev;
+    prev = timestamps[i];
+    ++out.count;
+    out.avg_ps += dt;
+    out.worst_ps = std::max(out.worst_ps, dt);
+    out.best_ps = out.best_ps == 0 ? dt : std::min(out.best_ps, dt);
+  }
+  if (out.count > 0) out.avg_ps /= static_cast<double>(out.count);
+  return out;
+}
+
+}  // namespace rtcad

@@ -1,0 +1,86 @@
+// STG-driven environment: plays the input side of a specification against a
+// simulated netlist, while checking at runtime that every circuit output
+// transition is allowed by the spec (a lightweight conformance monitor).
+//
+// This is how the Table 2 measurements are produced: the FIFO cell under
+// test is driven by the Figure 3 protocol with randomized environment
+// delays; cycle times and per-cycle energy fall out of the simulator's
+// counters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/sim.hpp"
+#include "stg/stg.hpp"
+
+namespace rtcad {
+
+struct StgEnvOptions {
+  double input_delay_min_ps = 180.0;
+  double input_delay_max_ps = 320.0;
+  std::uint64_t seed = 7;
+  /// Rising edges of this spec signal are counted as cycles (-1: first
+  /// output signal).
+  int cycle_signal = -1;
+};
+
+struct ConformanceViolation {
+  double time_ps = 0.0;
+  std::string what;
+};
+
+class StgEnvironment {
+ public:
+  /// Spec signals are matched to netlist nets by name; all spec signals
+  /// must exist in the netlist. Internal spec signals (CSC signals) are
+  /// tracked if present, ignored if the implementation renamed them away.
+  StgEnvironment(const Stg& spec, Simulator& sim,
+                 const StgEnvOptions& opts = {});
+
+  /// Register the watcher and schedule the initially-enabled inputs.
+  void start();
+
+  long cycles() const { return static_cast<long>(cycle_times_.size()); }
+  const std::vector<double>& cycle_times() const { return cycle_times_; }
+  const std::vector<ConformanceViolation>& violations() const {
+    return violations_;
+  }
+  bool conforms() const { return violations_.empty(); }
+
+  /// True when the spec marking still has enabled transitions but the
+  /// simulation went quiet — the circuit is stuck.
+  bool deadlocked() const;
+
+ private:
+  void on_net_change(int net, bool value, double time);
+  void fire_silent_closure();
+  void schedule_enabled_inputs();
+  /// Fire the (unique enabled) spec transition for this edge; false if
+  /// none is enabled.
+  bool fire_edge(const Edge& e);
+
+  Stg spec_;
+  Simulator* sim_;
+  StgEnvOptions opts_;
+  Rng rng_;
+  Marking marking_;
+  std::vector<int> signal_net_;      ///< spec signal -> net id (-1 untracked)
+  std::vector<bool> input_pending_;  ///< per signal: change already scheduled
+  int cycle_signal_ = -1;
+  std::vector<double> cycle_times_;
+  std::vector<ConformanceViolation> violations_;
+};
+
+/// Aggregate cycle statistics (steady-state; the first `warmup` cycles are
+/// dropped).
+struct CycleStats {
+  long count = 0;
+  double avg_ps = 0.0;
+  double worst_ps = 0.0;
+  double best_ps = 0.0;
+};
+CycleStats cycle_stats(const std::vector<double>& timestamps,
+                       long warmup = 2);
+
+}  // namespace rtcad

@@ -1,0 +1,37 @@
+// Programmatic constructors for the specifications used throughout the
+// paper and for the benchmark suite:
+//
+//  * fifo_stg()       — Figure 3: the FIFO-controller spec (no CSC signal;
+//                       has the classic "pending data looks like idle" CSC
+//                       conflict).
+//  * fifo_csc_stg()   — Figure 5(b): same controller with the state signal
+//                       x inserted (x falls after lo+, rises after lo-·ro-,
+//                       guards the next lo+). x = NOR(lo, ro) in logic.
+//  * celement_stg()   — Section 5: C-element with its standard environment.
+//  * vme_stg()        — VME-bus read controller (classic CSC benchmark).
+//  * toggle_stg()     — divide-by-two toggle (CSC conflict, 2 instances per
+//                       input edge).
+//  * pipeline_stg(n)  — n-stage handshake pipeline; state count grows
+//                       exponentially with n (used by scaling benches).
+#pragma once
+
+#include "stg/stg.hpp"
+
+namespace rtcad {
+
+Stg fifo_stg();
+Stg fifo_csc_stg();
+/// Coupled (handshake-overhead) FIFO controller: the left acknowledgement
+/// completes only after the right handshake returns to zero. This is the
+/// concurrency-reduced spec a speed-independent implementation needs
+/// (Figure 4's circuit); CSC holds without state signals.
+Stg fifo_si_stg();
+Stg celement_stg();
+Stg vme_stg();
+Stg toggle_stg();
+Stg pipeline_stg(int stages);
+/// Call element: two clients share one four-phase service; the environment
+/// chooses which request fires (free input choice — legal nondeterminism).
+Stg call_stg();
+
+}  // namespace rtcad

@@ -1,0 +1,279 @@
+#include "stg/parse.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace rtcad {
+namespace {
+
+struct NodeRef {
+  bool is_place = false;
+  int id = -1;
+};
+
+class Parser {
+ public:
+  Parser(std::istream& in, std::string filename)
+      : in_(in), filename_(std::move(filename)) {}
+
+  Stg run() {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++lineno_;
+      std::string_view text = trim(line);
+      if (auto hash = text.find('#'); hash != std::string_view::npos)
+        text = trim(text.substr(0, hash));
+      if (text.empty()) continue;
+      handle_line(std::string(text));
+      if (done_) break;
+    }
+    if (!saw_graph_) fail("missing .graph section");
+    stg_.validate();
+    return std::move(stg_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ParseError(filename_, lineno_, msg);
+  }
+
+  void handle_line(const std::string& text) {
+    auto tokens = split(text);
+    const std::string& head = tokens[0];
+    if (head == ".model" || head == ".name") {
+      if (tokens.size() >= 2) stg_.set_name(tokens[1]);
+    } else if (head == ".inputs") {
+      declare(tokens, SignalKind::kInput);
+    } else if (head == ".outputs") {
+      declare(tokens, SignalKind::kOutput);
+    } else if (head == ".internal") {
+      declare(tokens, SignalKind::kInternal);
+    } else if (head == ".dummy") {
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        dummies_.insert(tokens[i]);
+    } else if (head == ".graph") {
+      saw_graph_ = true;
+      in_graph_ = true;
+    } else if (head == ".marking") {
+      in_graph_ = false;
+      parse_marking(text);
+    } else if (head == ".end") {
+      done_ = true;
+    } else if (head == ".capacity" || head == ".slowenv") {
+      // Accepted and ignored petrify extensions.
+    } else if (head[0] == '.') {
+      fail("unknown directive '" + head + "'");
+    } else if (in_graph_) {
+      parse_arc_line(tokens);
+    } else {
+      fail("unexpected line outside .graph: '" + text + "'");
+    }
+  }
+
+  void declare(const std::vector<std::string>& tokens, SignalKind kind) {
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      if (stg_.signal_id(tokens[i]) >= 0)
+        fail("signal '" + tokens[i] + "' declared twice");
+      stg_.add_signal(tokens[i], kind);
+    }
+  }
+
+  /// Resolve a `.graph` token to a transition or place, creating it on
+  /// first sight. The same token text always maps to the same node.
+  NodeRef node(const std::string& token) {
+    auto it = nodes_.find(token);
+    if (it != nodes_.end()) return it->second;
+
+    std::string base = token;
+    int instance = 0;
+    if (auto slash = base.find('/'); slash != std::string::npos) {
+      const std::string inst = base.substr(slash + 1);
+      if (inst.empty()) fail("bad instance suffix in '" + token + "'");
+      for (char c : inst)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+          fail("bad instance suffix in '" + token + "'");
+      instance = std::stoi(inst);
+      base = base.substr(0, slash);
+    }
+
+    NodeRef ref;
+    if (!base.empty() && (base.back() == '+' || base.back() == '-')) {
+      const std::string sig_name = base.substr(0, base.size() - 1);
+      const int sig = stg_.signal_id(sig_name);
+      if (sig < 0) fail("transition on undeclared signal '" + sig_name + "'");
+      const Edge e{sig,
+                   base.back() == '+' ? Polarity::kRise : Polarity::kFall};
+      ref.id = stg_.add_transition(e, instance == 0 ? 1 : instance);
+      ref.is_place = false;
+    } else if (dummies_.count(base)) {
+      ref.id = stg_.add_transition(std::nullopt, 0);
+      ref.is_place = false;
+    } else {
+      if (instance != 0) fail("place name with instance: '" + token + "'");
+      ref.id = stg_.add_place(base);
+      ref.is_place = true;
+    }
+    nodes_[token] = ref;
+    return ref;
+  }
+
+  void parse_arc_line(const std::vector<std::string>& tokens) {
+    const NodeRef from = node(tokens[0]);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const NodeRef to = node(tokens[i]);
+      if (from.is_place && to.is_place)
+        fail("place-to-place arc: " + tokens[0] + " -> " + tokens[i]);
+      if (from.is_place) {
+        stg_.add_arc_pt(from.id, to.id);
+      } else if (to.is_place) {
+        stg_.add_arc_tp(from.id, to.id);
+      } else {
+        const int p = stg_.add_arc_tt(from.id, to.id);
+        implicit_["<" + tokens[0] + "," + tokens[i] + ">"] = p;
+      }
+    }
+  }
+
+  void parse_marking(const std::string& text) {
+    const auto open = text.find('{');
+    const auto close = text.rfind('}');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open)
+      fail(".marking must be of the form .marking { ... }");
+    const std::string body = text.substr(open + 1, close - open - 1);
+
+    std::size_t i = 0;
+    while (i < body.size()) {
+      while (i < body.size() && (body[i] == ' ' || body[i] == '\t')) ++i;
+      if (i >= body.size()) break;
+      std::size_t j = i;
+      if (body[i] == '<') {
+        while (j < body.size() && body[j] != '>') ++j;
+        if (j >= body.size()) fail("unterminated '<' in .marking");
+        ++j;  // include '>'
+      }
+      while (j < body.size() && body[j] != ' ' && body[j] != '\t') ++j;
+      apply_marking_item(body.substr(i, j - i));
+      i = j;
+    }
+  }
+
+  void apply_marking_item(std::string item) {
+    int tokens = 1;
+    // "=N" multiplicities only appear after the closing '>' or place name.
+    const auto gt = item.find('>');
+    const auto eq = item.find('=', gt == std::string::npos ? 0 : gt);
+    if (eq != std::string::npos) {
+      tokens = std::stoi(item.substr(eq + 1));
+      if (tokens < 0 || tokens > 255) fail("token count out of range");
+      item = item.substr(0, eq);
+    }
+    int place = -1;
+    if (!item.empty() && item[0] == '<') {
+      auto it = implicit_.find(item);
+      if (it == implicit_.end()) fail("unknown implicit place " + item);
+      place = it->second;
+    } else {
+      auto it = nodes_.find(item);
+      if (it == nodes_.end() || !it->second.is_place)
+        fail("unknown place '" + item + "' in .marking");
+      place = it->second.id;
+    }
+    stg_.set_initial_tokens(place, static_cast<std::uint8_t>(tokens));
+  }
+
+  std::istream& in_;
+  std::string filename_;
+  int lineno_ = 0;
+  bool in_graph_ = false;
+  bool saw_graph_ = false;
+  bool done_ = false;
+  Stg stg_;
+  std::unordered_set<std::string> dummies_;
+  std::unordered_map<std::string, NodeRef> nodes_;
+  std::unordered_map<std::string, int> implicit_;
+};
+
+}  // namespace
+
+Stg parse_stg(std::istream& in, const std::string& filename) {
+  return Parser(in, filename).run();
+}
+
+Stg parse_stg_string(const std::string& text, const std::string& filename) {
+  std::istringstream in(text);
+  return parse_stg(in, filename);
+}
+
+Stg parse_stg_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open STG file '" + path + "'");
+  return parse_stg(in, path);
+}
+
+std::string write_stg(const Stg& stg) {
+  std::string out = ".model " + stg.name() + "\n";
+  auto emit_kind = [&](SignalKind kind, const char* directive) {
+    std::string line;
+    for (int s = 0; s < stg.num_signals(); ++s) {
+      if (stg.signal(s).kind == kind) line += " " + stg.signal(s).name;
+    }
+    if (!line.empty()) out += std::string(directive) + line + "\n";
+  };
+  emit_kind(SignalKind::kInput, ".inputs");
+  emit_kind(SignalKind::kOutput, ".outputs");
+  emit_kind(SignalKind::kInternal, ".internal");
+  bool has_silent = false;
+  for (int t = 0; t < stg.num_transitions(); ++t)
+    if (stg.transition(t).is_silent()) has_silent = true;
+  if (has_silent) out += ".dummy eps\n";
+
+  out += ".graph\n";
+  auto place_is_implicit = [&](int p) {
+    const auto& pl = stg.place(p);
+    return pl.pre.size() == 1 && pl.post.size() == 1 && !pl.name.empty() &&
+           pl.name[0] == '<';
+  };
+  for (int t = 0; t < stg.num_transitions(); ++t) {
+    std::string line = stg.transition_name(t);
+    bool any = false;
+    for (int p : stg.transition(t).post) {
+      any = true;
+      if (place_is_implicit(p)) {
+        line += " " + stg.transition_name(stg.place(p).post[0]);
+      } else {
+        line += " " + stg.place(p).name;
+      }
+    }
+    if (any) out += line + "\n";
+  }
+  for (int p = 0; p < stg.num_places(); ++p) {
+    if (place_is_implicit(p)) continue;
+    std::string line = stg.place(p).name;
+    for (int t : stg.place(p).post) line += " " + stg.transition_name(t);
+    if (!stg.place(p).post.empty()) out += line + "\n";
+  }
+
+  out += ".marking {";
+  for (int p = 0; p < stg.num_places(); ++p) {
+    const auto& pl = stg.place(p);
+    if (pl.initial_tokens == 0) continue;
+    out += " ";
+    if (place_is_implicit(p)) {
+      out += "<" + stg.transition_name(pl.pre[0]) + "," +
+             stg.transition_name(pl.post[0]) + ">";
+    } else {
+      out += pl.name;
+    }
+    if (pl.initial_tokens > 1) out += "=" + std::to_string(pl.initial_tokens);
+  }
+  out += " }\n.end\n";
+  return out;
+}
+
+}  // namespace rtcad

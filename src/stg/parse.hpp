@@ -1,0 +1,38 @@
+// Reader/writer for the astg `.g` interchange format used by petrify, SIS
+// and the asynchronous benchmark suites:
+//
+//   .model fifo
+//   .inputs li ri
+//   .outputs lo ro
+//   .internal x
+//   .dummy eps
+//   .graph
+//   li+ lo+
+//   p0 ro+
+//   ...
+//   .marking { <li+,lo+> p0 p1=2 }
+//   .end
+//
+// Tokens ending in +/- (optionally with /k instance suffixes) are signal
+// transitions; declared dummy names are silent transitions; anything else
+// names an explicit place. Transition-to-transition arcs go through implicit
+// places named "<t1,t2>".
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "stg/stg.hpp"
+
+namespace rtcad {
+
+Stg parse_stg(std::istream& in, const std::string& filename = "<stream>");
+Stg parse_stg_string(const std::string& text,
+                     const std::string& filename = "<string>");
+Stg parse_stg_file(const std::string& path);
+
+/// Serialize to `.g`. Dummy transitions are emitted under the reserved
+/// signal name `eps` (instance-suffixed); everything else round-trips.
+std::string write_stg(const Stg& stg);
+
+}  // namespace rtcad

@@ -1,0 +1,45 @@
+// Signals and signal edges: the alphabet of Signal Transition Graphs.
+#pragma once
+
+#include <string>
+
+namespace rtcad {
+
+enum class SignalKind {
+  kInput,    ///< driven by the environment
+  kOutput,   ///< driven by the circuit, observable
+  kInternal, ///< driven by the circuit, not observable (e.g. CSC signals)
+};
+
+inline const char* to_string(SignalKind k) {
+  switch (k) {
+    case SignalKind::kInput: return "input";
+    case SignalKind::kOutput: return "output";
+    case SignalKind::kInternal: return "internal";
+  }
+  return "?";
+}
+
+struct Signal {
+  std::string name;
+  SignalKind kind = SignalKind::kInput;
+  /// Value at the initial marking; resolved by state-graph construction if
+  /// left unspecified in the source file.
+  int initial_value = -1;  // -1 = unknown / to be inferred
+};
+
+enum class Polarity { kRise, kFall };
+
+inline Polarity opposite(Polarity p) {
+  return p == Polarity::kRise ? Polarity::kFall : Polarity::kRise;
+}
+
+/// A signal edge such as `a+` (rise) or `a-` (fall).
+struct Edge {
+  int signal = -1;
+  Polarity pol = Polarity::kRise;
+
+  bool operator==(const Edge&) const = default;
+};
+
+}  // namespace rtcad

@@ -1,0 +1,37 @@
+// Speed-independent logic synthesis: complex gates with feedback or
+// generalized C-element (set/reset) implementations mapped onto the
+// standard library. This produces the Figure 4 class of circuits.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "sg/stategraph.hpp"
+#include "synth/nextstate.hpp"
+
+namespace rtcad {
+
+enum class SynthStyle {
+  kComplexGate,   ///< one SOP per signal with output feedback
+  kGeneralizedC,  ///< set/reset networks into a latch / C-element
+};
+
+struct SynthOptions {
+  SynthStyle style = SynthStyle::kGeneralizedC;
+};
+
+struct SynthResult {
+  Netlist netlist;
+  /// Human-readable equations per synthesized signal.
+  std::map<std::string, std::string> equations;
+  int literals = 0;
+};
+
+/// Synthesize every non-input signal of the state graph. The SG must be
+/// consistent and have CSC (throws SpecError otherwise). Output and
+/// internal spec signals become driven nets named after the signal; inputs
+/// become primary inputs.
+SynthResult synthesize_si(const StateGraph& sg, const SynthOptions& opts = {});
+
+}  // namespace rtcad

@@ -1,0 +1,216 @@
+#include "synth/mapper.hpp"
+
+#include <algorithm>
+
+namespace rtcad {
+
+int CoverMapper::constant_net(bool value) {
+  int& net = value ? const1_ : const0_;
+  if (net < 0) {
+    net = netlist_->add_primary_input(value ? "tie1" : "tie0", value);
+  }
+  return net;
+}
+
+int CoverMapper::literal_net(int variable, bool positive) {
+  RTCAD_EXPECTS(variable >= 0 &&
+                variable < static_cast<int>(var_nets_.size()));
+  const int base = var_nets_[variable];
+  RTCAD_EXPECTS(base >= 0);
+  if (positive) return base;
+  auto it = inverter_cache_.find(variable);
+  if (it != inverter_cache_.end()) return it->second;
+  const int inv = netlist_->add_net(
+      netlist_->net(base).name + "_b", !netlist_->net(base).initial_value);
+  netlist_->add_gate("INV", {base}, inv);
+  inverter_cache_[variable] = inv;
+  return inv;
+}
+
+int CoverMapper::and_tree(std::vector<int> nets, const std::string& prefix) {
+  RTCAD_EXPECTS(!nets.empty());
+  while (nets.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i < nets.size(); i += 4) {
+      const std::size_t k = std::min<std::size_t>(4, nets.size() - i);
+      if (k == 1) {
+        next.push_back(nets[i]);
+        continue;
+      }
+      std::vector<int> group(nets.begin() + i, nets.begin() + i + k);
+      bool init = true;
+      for (int g : group) init = init && netlist_->net(g).initial_value;
+      const int out = netlist_->add_net(
+          prefix + "_a" + std::to_string(unique_++), init);
+      netlist_->add_gate(Library::standard().find(CellKind::kAnd,
+                                                  static_cast<int>(k)),
+                         group, out);
+      next.push_back(out);
+    }
+    nets = std::move(next);
+  }
+  return nets[0];
+}
+
+int CoverMapper::or_tree(std::vector<int> nets, const std::string& prefix) {
+  RTCAD_EXPECTS(!nets.empty());
+  while (nets.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i < nets.size(); i += 3) {
+      const std::size_t k = std::min<std::size_t>(3, nets.size() - i);
+      if (k == 1) {
+        next.push_back(nets[i]);
+        continue;
+      }
+      std::vector<int> group(nets.begin() + i, nets.begin() + i + k);
+      bool init = false;
+      for (int g : group) init = init || netlist_->net(g).initial_value;
+      const int out = netlist_->add_net(
+          prefix + "_o" + std::to_string(unique_++), init);
+      netlist_->add_gate(Library::standard().find(CellKind::kOr,
+                                                  static_cast<int>(k)),
+                         group, out);
+      next.push_back(out);
+    }
+    nets = std::move(next);
+  }
+  return nets[0];
+}
+
+int CoverMapper::map_cube(const Cube& cube, const std::string& prefix) {
+  if (cube.is_tautology()) return constant_net(true);
+  std::vector<int> literals;
+  for (std::size_t v = 0; v < var_nets_.size(); ++v) {
+    const int lit = cube.literal(static_cast<int>(v));
+    if (lit == 0) continue;
+    literals.push_back(literal_net(static_cast<int>(v), lit > 0));
+  }
+  return and_tree(std::move(literals), prefix);
+}
+
+int CoverMapper::map_cover(const Cover& cover, const std::string& prefix) {
+  if (cover.cubes.empty()) return constant_net(false);
+  std::vector<int> cube_nets;
+  cube_nets.reserve(cover.cubes.size());
+  for (const auto& cube : cover.cubes)
+    cube_nets.push_back(map_cube(cube, prefix));
+  return or_tree(std::move(cube_nets), prefix);
+}
+
+void CoverMapper::map_cube_into(const Cube& cube, int target_net,
+                                const std::string& prefix) {
+  if (cube.is_tautology()) {
+    netlist_->add_gate("BUF", {constant_net(true)}, target_net);
+    return;
+  }
+  std::vector<int> literals;
+  bool single_negative = false;
+  int single_var = -1;
+  for (std::size_t v = 0; v < var_nets_.size(); ++v) {
+    const int lit = cube.literal(static_cast<int>(v));
+    if (lit == 0) continue;
+    single_var = static_cast<int>(v);
+    single_negative = lit < 0;
+    literals.push_back(-1);  // placeholder count
+  }
+  if (literals.size() == 1) {
+    // Copy / complement of one variable.
+    const int base = var_nets_[single_var];
+    netlist_->add_gate(single_negative ? "INV" : "BUF", {base}, target_net);
+    return;
+  }
+  literals.clear();
+  for (std::size_t v = 0; v < var_nets_.size(); ++v) {
+    const int lit = cube.literal(static_cast<int>(v));
+    if (lit == 0) continue;
+    literals.push_back(literal_net(static_cast<int>(v), lit > 0));
+  }
+  while (literals.size() > 4) {
+    std::vector<int> tail(literals.begin() + 3, literals.end());
+    literals.resize(3);
+    literals.push_back(and_tree(std::move(tail), prefix));
+  }
+  netlist_->add_gate(
+      Library::standard().find(CellKind::kAnd,
+                               static_cast<int>(literals.size())),
+      literals, target_net);
+}
+
+void CoverMapper::map_cover_into(const Cover& cover, int target_net,
+                                 const std::string& prefix) {
+  if (cover.cubes.empty()) {
+    netlist_->add_gate("BUF", {constant_net(false)}, target_net);
+    return;
+  }
+  if (cover.cubes.size() == 1) {
+    map_cube_into(cover.cubes[0], target_net, prefix);
+    return;
+  }
+  std::vector<int> cube_nets;
+  cube_nets.reserve(cover.cubes.size());
+  for (const auto& cube : cover.cubes)
+    cube_nets.push_back(map_cube(cube, prefix));
+  while (cube_nets.size() > 3) {
+    std::vector<int> tail(cube_nets.begin() + 2, cube_nets.end());
+    cube_nets.resize(2);
+    cube_nets.push_back(or_tree(std::move(tail), prefix));
+  }
+  netlist_->add_gate(
+      Library::standard().find(CellKind::kOr,
+                               static_cast<int>(cube_nets.size())),
+      cube_nets, target_net);
+}
+
+void CoverMapper::map_cube_domino_into(const Cube& cube, int foot_net,
+                                       int target_net, bool unfooted,
+                                       const std::string& prefix) {
+  std::vector<int> data;
+  for (std::size_t v = 0; v < var_nets_.size(); ++v) {
+    const int lit = cube.literal(static_cast<int>(v));
+    if (lit == 0) continue;
+    data.push_back(literal_net(static_cast<int>(v), lit > 0));
+  }
+  if (data.empty()) data.push_back(constant_net(true));
+  if (data.size() > 3) {
+    const int pre =
+        and_tree(std::vector<int>(data.begin() + 2, data.end()), prefix);
+    data = {data[0], data[1], pre};
+  }
+  const CellKind kind = unfooted ? CellKind::kDominoU : CellKind::kDominoF;
+  const int cell =
+      Library::standard().find(kind, static_cast<int>(data.size()));
+  std::vector<int> pins;
+  pins.push_back(foot_net);
+  pins.insert(pins.end(), data.begin(), data.end());
+  netlist_->add_gate(cell, pins, target_net);
+}
+
+int CoverMapper::map_cube_domino(const Cube& cube, int foot_net,
+                                 const std::string& prefix, bool unfooted) {
+  std::vector<int> data;
+  for (std::size_t v = 0; v < var_nets_.size(); ++v) {
+    const int lit = cube.literal(static_cast<int>(v));
+    if (lit == 0) continue;
+    data.push_back(literal_net(static_cast<int>(v), lit > 0));
+  }
+  if (data.empty()) data.push_back(constant_net(true));
+  // Library stocks domino pulldowns up to 3 data inputs; wider cubes get
+  // an AND prestage (rare for handshake controllers).
+  if (data.size() > 3) {
+    const int pre = and_tree(
+        std::vector<int>(data.begin() + 2, data.end()), prefix);
+    data = {data[0], data[1], pre};
+  }
+  const CellKind kind = unfooted ? CellKind::kDominoU : CellKind::kDominoF;
+  const int cell =
+      Library::standard().find(kind, static_cast<int>(data.size()));
+  std::vector<int> pins;
+  pins.push_back(foot_net);
+  pins.insert(pins.end(), data.begin(), data.end());
+  const int out =
+      netlist_->add_net(prefix + "_d" + std::to_string(unique_++), false);
+  netlist_->add_gate(cell, pins, out);
+  return out;
+}
+
+}  // namespace rtcad

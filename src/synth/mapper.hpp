@@ -1,0 +1,62 @@
+// Technology mapping of two-level covers onto the standard library:
+// shared-inverter literal nets, AND trees per cube, OR trees across cubes,
+// and domino realizations for the RT style.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/cube.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rtcad {
+
+/// Maps spec-variable indices to netlist nets and owns the shared
+/// inverter cache so complementary literals cost one INV per signal.
+class CoverMapper {
+ public:
+  CoverMapper(Netlist* netlist, std::vector<int> variable_nets)
+      : netlist_(netlist), var_nets_(std::move(variable_nets)) {}
+
+  /// Net carrying the literal (variable or its complement).
+  int literal_net(int variable, bool positive);
+
+  /// Build AND-of-literals for a cube. Tautology maps to a constant-1 net
+  /// (a tied-high input), empty cover to constant 0.
+  int map_cube(const Cube& cube, const std::string& prefix);
+
+  /// Build the full SOP; `prefix` names intermediate nets.
+  int map_cover(const Cover& cover, const std::string& prefix);
+
+  /// Same, but the top gate drives `target_net` (used so a signal's cover
+  /// ends exactly on the signal's own net, enabling gate feedback).
+  void map_cover_into(const Cover& cover, int target_net,
+                      const std::string& prefix);
+  void map_cube_into(const Cube& cube, int target_net,
+                     const std::string& prefix);
+  void map_cube_domino_into(const Cube& cube, int foot_net, int target_net,
+                            bool unfooted, const std::string& prefix);
+
+  /// Footed-domino realization of a single-cube set function:
+  /// out = DOMF(foot, literals(cube)). Literals must be positive when
+  /// `require_positive` (domino pulldowns take true inputs); negative
+  /// literals go through the shared inverters otherwise.
+  int map_cube_domino(const Cube& cube, int foot_net,
+                      const std::string& prefix, bool unfooted);
+
+  Netlist* netlist() { return netlist_; }
+
+ private:
+  int and_tree(std::vector<int> nets, const std::string& prefix);
+  int or_tree(std::vector<int> nets, const std::string& prefix);
+  int constant_net(bool value);
+
+  Netlist* netlist_;
+  std::vector<int> var_nets_;
+  std::unordered_map<int, int> inverter_cache_;
+  int const0_ = -1, const1_ = -1;
+  int unique_ = 0;
+};
+
+}  // namespace rtcad

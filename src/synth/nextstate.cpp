@@ -1,0 +1,63 @@
+#include "synth/nextstate.hpp"
+
+namespace rtcad {
+
+SignalFunctions derive_functions(const StateGraph& sg, int signal) {
+  const Stg& stg = sg.stg();
+  const int n = stg.num_signals();
+  if (n > TruthTable::kMaxVars)
+    throw SpecError("too many signals (" + std::to_string(n) +
+                    ") for truth-table synthesis");
+
+  SignalFunctions out{TruthTable(n), TruthTable(n), TruthTable(n), false};
+  out.next.fill_unspecified_with_dc();
+  out.set_fn.fill_unspecified_with_dc();
+  out.reset_fn.fill_unspecified_with_dc();
+
+  // Track which codes have been pinned to detect CSC disagreements.
+  enum : signed char { kUnset = -1 };
+  std::vector<signed char> next_pin(out.next.size(), kUnset);
+
+  bool hold_high = false, hold_low = false;
+
+  for (int s = 0; s < sg.num_states(); ++s) {
+    const auto code = static_cast<std::uint32_t>(sg.code(s));
+    const bool rise = sg.excited(s, Edge{signal, Polarity::kRise});
+    const bool fall = sg.excited(s, Edge{signal, Polarity::kFall});
+    const bool value = sg.value(s, signal);
+    const bool target = rise || (value && !fall);
+
+    if (next_pin[code] != kUnset &&
+        next_pin[code] != static_cast<signed char>(target)) {
+      throw SpecError("state graph lacks CSC for signal '" +
+                      stg.signal(signal).name + "' (code " +
+                      std::to_string(code) + ")");
+    }
+    next_pin[code] = static_cast<signed char>(target);
+    if (target)
+      out.next.set_on(code);
+    else
+      out.next.set_off(code);
+
+    // Set function: 1 across the rising excitation region, 0 wherever the
+    // signal is (and must stay) 0, free while it sits at 1.
+    if (rise) {
+      out.set_fn.set_on(code);
+    } else if (!value || fall) {
+      out.set_fn.set_off(code);
+    }
+    // Reset function symmetric.
+    if (fall) {
+      out.reset_fn.set_on(code);
+    } else if (value || rise) {
+      out.reset_fn.set_off(code);
+    }
+
+    if (value && !rise && !fall) hold_high = true;
+    if (!value && !rise && !fall) hold_low = true;
+  }
+  out.needs_state_holding = hold_high && hold_low;
+  return out;
+}
+
+}  // namespace rtcad

@@ -1,0 +1,54 @@
+#include "synth/pulse.hpp"
+
+namespace rtcad {
+
+PulseFifoResult pulse_fifo_netlist() {
+  PulseFifoResult out;
+  out.netlist = Netlist("fifo_pulse");
+  Netlist& nl = out.netlist;
+
+  const int li = nl.add_primary_input("li", false);
+  const int q = nl.add_net("q", false);     // full flag
+  const int ro = nl.add_net("ro", false);   // output pulse
+  const int rst = nl.add_net("rst", false); // self-reset delay
+
+  nl.add_gate("SRL", {li, ro}, q);          // set on li pulse, clear on ro
+  nl.add_gate("DOMU1", {rst, q}, ro);       // fire when full, precharge on rst
+  nl.add_gate("BUF", {ro}, rst);            // pulse width = DOMU + BUF delay
+  nl.mark_primary_output(ro);
+  nl.validate();
+
+  out.protocol_constraints = {
+      "arc1 (causal): li pulse sets q, q fires ro",
+      "arc2: q+ before li-  (input pulse wide enough to capture)",
+      "arc3: q- before ro-  (flag clears within the output pulse)",
+      "arc4: ro- before li+ (next input only after the stage recovered)",
+  };
+  return out;
+}
+
+Netlist pulse_ring(int stages) {
+  RTCAD_EXPECTS(stages >= 2);
+  Netlist nl("pulse_ring" + std::to_string(stages));
+
+  // Stage i: q_i = SRL(ro_{i-1}, ro_i); ro_i = DOMU(rst_i, q_i);
+  // rst_i = BUF(ro_i). Stage 0 starts full (the circulating token).
+  std::vector<int> ro(stages);
+  for (int i = 0; i < stages; ++i)
+    ro[i] = nl.add_net("ro" + std::to_string(i), false);
+  for (int i = 0; i < stages; ++i) {
+    const std::string tag = std::to_string(i);
+    const bool full = i == 0;
+    const int q = nl.add_net("q" + tag, full);
+    const int rst = nl.add_net("rst" + tag, false);
+    const int li = ro[(i + stages - 1) % stages];
+    nl.add_gate("SRL", {li, ro[i]}, q);
+    nl.add_gate("DOMU1", {rst, q}, ro[i]);
+    nl.add_gate("BUF", {ro[i]}, rst);
+    nl.mark_primary_output(ro[i]);
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace rtcad

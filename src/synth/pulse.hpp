@@ -1,0 +1,38 @@
+// Pulse-mode transformation (Section 4.3, Figure 7).
+//
+// The recipe the paper gives: include models of the left and right
+// environment inside the circuit, then remove the circuitry and handshake
+// signals (lo, ri) that become redundant. What remains exchanges PULSES:
+// a pulse on li deposits the datum, a self-resetting domino emits a pulse
+// on ro. Four-phase acknowledges are replaced by the pulse-protocol timing
+// constraints of Figure 7(b): arc 1 stays a causal dependency, arcs 2-4
+// become relative-timing constraints between the circuit and both
+// environments.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "rt/assumption.hpp"
+#include "stg/stg.hpp"
+
+namespace rtcad {
+
+struct PulseFifoResult {
+  Netlist netlist;
+  /// Human-readable pulse-protocol constraints (arcs 2-4 of Figure 7(b)),
+  /// phrased as edge orderings on the pulse interface.
+  std::vector<std::string> protocol_constraints;
+};
+
+/// The Figure 7 pulse-mode FIFO stage: full-flag latch set by the li
+/// pulse, unfooted self-resetting domino emitting the ro pulse.
+/// 17 transistors in the standard library.
+PulseFifoResult pulse_fifo_netlist();
+
+/// A ring of `stages` pulse FIFO stages with one token injected (stage 0
+/// starts full); ro of the last stage feeds li of the first. Used to
+/// measure the pulse-mode cycle time without an external environment.
+Netlist pulse_ring(int stages);
+
+}  // namespace rtcad

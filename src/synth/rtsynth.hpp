@@ -1,0 +1,55 @@
+// Relative-timing logic synthesis (Sections 3-4 of the paper):
+//
+//  1. apply user + automatically generated RT assumptions to the state
+//     graph (concurrency reduction -> more global don't-cares);
+//  2. compute LAZY don't-cares: states one event ahead of a transition's
+//     nominal excitation may be folded into the ON-set of that signal if
+//     the skipped event is guaranteed faster than the gate (early
+//     enabling -> per-signal local don't-cares);
+//  3. minimize and map, preferring domino realizations (footed, or
+//     unfooted under user-level environment assumptions);
+//  4. back-annotate exactly the orderings the optimizer relied on as the
+//     circuit's REQUIRED timing constraints.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "rt/assumption.hpp"
+#include "rt/generate.hpp"
+#include "rt/reduce.hpp"
+#include "sg/stategraph.hpp"
+
+namespace rtcad {
+
+struct RtSynthOptions {
+  GenerateOptions generate;
+  std::vector<RtAssumption> user_assumptions;
+  /// Map to unfooted domino gates where the precharge is a single literal
+  /// (the Figure 6 style; requires environment assumptions to be safe).
+  bool allow_unfooted = false;
+  /// Enable early-enabling (lazy) don't-cares.
+  bool lazy = true;
+};
+
+struct RtSynthResult {
+  Netlist netlist;
+  std::map<std::string, std::string> equations;
+  int literals = 0;
+  /// Everything assumed (user + automatic), applied or not.
+  std::vector<RtAssumption> assumptions;
+  /// Back-annotated requirements: the subset the circuit depends on.
+  std::vector<RtConstraint> constraints;
+  int states_before = 0;
+  int states_after = 0;
+};
+
+/// Throws SpecError if the reduced state graph still lacks CSC (the
+/// assumptions were not strong enough) or if reduction deadlocks the
+/// specification (contradictory assumptions).
+RtSynthResult synthesize_rt(const StateGraph& sg,
+                            const RtSynthOptions& opts = {});
+
+}  // namespace rtcad

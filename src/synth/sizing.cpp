@@ -1,0 +1,81 @@
+#include "synth/sizing.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace rtcad {
+namespace {
+
+/// Gates driving the nets along a path (excluding the common source).
+std::vector<int> path_gates(const Netlist& nl,
+                            const std::vector<std::string>& path) {
+  std::vector<int> gates;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const int net = nl.find_net(path[i]);
+    if (net >= 0 && nl.net(net).driver >= 0)
+      gates.push_back(nl.net(net).driver);
+  }
+  return gates;
+}
+
+}  // namespace
+
+SizingResult size_for_constraints(
+    Netlist* netlist, const Stg& spec,
+    const std::vector<NetConstraint>& constraints,
+    const SizingOptions& opts) {
+  SizingResult result;
+  result.met.assign(constraints.size(), false);
+
+  for (result.iterations = 0; result.iterations < opts.max_iterations;
+       ++result.iterations) {
+    bool all_met = true;
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+      const PathConstraint pc = derive_path_constraint(
+          *netlist, spec, constraints[i], opts.separation);
+      result.met[i] = pc.fast_max_ps * opts.margin <= pc.slow_min_ps;
+      if (result.met[i]) continue;
+      all_met = false;
+
+      // Slow down the slow side: scale the gates unique to the slow path.
+      const auto fast = path_gates(*netlist, pc.fast_path);
+      const auto slow = path_gates(*netlist, pc.slow_path);
+      bool changed = false;
+      for (int g : slow) {
+        if (std::find(fast.begin(), fast.end(), g) != fast.end()) continue;
+        double& scale = netlist->gate(g).delay_scale;
+        if (scale >= opts.max_scale) continue;
+        const double next = std::min(opts.max_scale, scale * 1.3);
+        result.log.push_back(strprintf(
+            "%s before %s: gate driving '%s' scaled %.2f -> %.2f",
+            constraints[i].before_net.c_str(),
+            constraints[i].after_net.c_str(),
+            netlist->net(netlist->gate(g).output).name.c_str(), scale,
+            next));
+        scale = next;
+        changed = true;
+        break;  // one gate per round; re-derive paths next pass
+      }
+      if (!changed) {
+        // Nothing left to slow down: the race cannot be closed by sizing.
+        result.feasible = false;
+        result.log.push_back(
+            strprintf("%s before %s: infeasible (no sizable gate outside "
+                      "the fast path)",
+                      constraints[i].before_net.c_str(),
+                      constraints[i].after_net.c_str()));
+        return result;
+      }
+    }
+    if (all_met) {
+      result.feasible = true;
+      return result;
+    }
+  }
+  result.feasible = false;
+  result.log.push_back("iteration limit reached");
+  return result;
+}
+
+}  // namespace rtcad

@@ -1,0 +1,48 @@
+// Transistor-sizing propagation of relative-timing constraints — one of
+// Section 6's named CAD directions: "Automatic propagation of relative
+// timing constraints to sizing tools... transforming RT constraints in the
+// form of events into delay constraints for gates, wires and paths", with
+// the sizing tool knowing "how much race margin to take".
+//
+// Model: each net-level constraint (u before v) is mapped to the pair of
+// causal paths from their common enabling signal (verify/separation); the
+// sizer then scales the slow-side gates' `delay_scale` (making v later) or
+// flags the constraint infeasible when the two sides share all their
+// gates. Margins are multiplicative: fast.max * margin <= slow.min.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "stg/stg.hpp"
+#include "verify/conformance.hpp"
+#include "verify/separation.hpp"
+
+namespace rtcad {
+
+struct SizingOptions {
+  /// Required ratio slow.min / fast.max (race margin).
+  double margin = 1.25;
+  /// Never scale a gate beyond this factor (area/power guard).
+  double max_scale = 4.0;
+  int max_iterations = 32;
+  SeparationOptions separation;
+};
+
+struct SizingResult {
+  bool feasible = false;
+  int iterations = 0;
+  /// Per-constraint closing status, in input order.
+  std::vector<bool> met;
+  /// Human-readable log of scale changes.
+  std::vector<std::string> log;
+};
+
+/// Mutates `netlist` gate delay_scale factors until every constraint's
+/// separation holds with the requested margin, or reports infeasibility.
+SizingResult size_for_constraints(Netlist* netlist, const Stg& spec,
+                                  const std::vector<NetConstraint>& constraints,
+                                  const SizingOptions& opts = {});
+
+}  // namespace rtcad

@@ -1,0 +1,56 @@
+#include "timed/timedreduce.hpp"
+
+namespace rtcad {
+namespace {
+
+void window(const Stg& stg, int signal, const TimedDelays& d, double* lo,
+            double* hi) {
+  switch (stg.signal(signal).kind) {
+    case SignalKind::kInternal:
+      *lo = d.internal_min_ps;
+      *hi = d.internal_max_ps;
+      return;
+    case SignalKind::kOutput:
+      *lo = d.output_min_ps;
+      *hi = d.output_max_ps;
+      return;
+    case SignalKind::kInput:
+      *lo = d.input_min_ps;
+      *hi = d.input_max_ps;
+      return;
+  }
+}
+
+}  // namespace
+
+TimedReduceResult timed_reduce(const StateGraph& sg,
+                               const TimedDelays& delays) {
+  const Stg& stg = sg.stg();
+
+  // NOTE: this is the memoryless approximation of timed reachability —
+  // windows restart at every state. It underprunes relative to full ATACS
+  // (which tracks clocks across states) but never removes feasible
+  // behaviour.
+  auto keep_edge = [&](int state, int transition) {
+    const auto& label = stg.transition(transition).label;
+    if (!label) return true;  // ε is untimed glue
+    double my_lo = 0, my_hi = 0;
+    window(stg, label->signal, delays, &my_lo, &my_hi);
+    for (const auto& [t, to] : sg.state(state).succ) {
+      if (t == transition) continue;
+      const auto& other = stg.transition(t).label;
+      if (!other || other->signal == label->signal) continue;
+      double o_lo = 0, o_hi = 0;
+      window(stg, other->signal, delays, &o_lo, &o_hi);
+      if (o_hi < my_lo) return false;  // the other always fires first
+    }
+    return true;
+  };
+
+  TimedReduceResult out{sg.filtered(keep_edge), 0, 0};
+  out.edges_removed = sg.num_edges() - out.sg.num_edges();
+  out.states_removed = sg.num_states() - out.sg.num_states();
+  return out;
+}
+
+}  // namespace rtcad

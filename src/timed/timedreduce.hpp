@@ -1,0 +1,29 @@
+// Metric-timed state-space pruning — the ATACS-style baseline of Section 3.
+// Each signal class carries an ABSOLUTE delay window [min,max]; an enabled
+// transition cannot fire if some concurrently-enabled transition is
+// guaranteed to beat it (its max is below the other's min). This is the
+// numeric cousin of relative-timing reduction, with the paper's noted
+// drawback: it needs absolute delays, which are largely unknown before
+// layout.
+#pragma once
+
+#include "sg/stategraph.hpp"
+
+namespace rtcad {
+
+struct TimedDelays {
+  double internal_min_ps = 40, internal_max_ps = 90;
+  double output_min_ps = 60, output_max_ps = 140;
+  double input_min_ps = 150, input_max_ps = 450;
+};
+
+struct TimedReduceResult {
+  StateGraph sg;
+  int edges_removed = 0;
+  int states_removed = 0;
+};
+
+TimedReduceResult timed_reduce(const StateGraph& sg,
+                               const TimedDelays& delays = {});
+
+}  // namespace rtcad

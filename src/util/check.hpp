@@ -1,0 +1,72 @@
+// Lightweight contract checking and error types shared by all rtcad modules.
+//
+// RTCAD_EXPECTS/RTCAD_ENSURES express pre/postconditions (always on — CAD
+// algorithm bugs must fail loudly, never corrupt a netlist silently).
+// Recoverable errors (bad input files, infeasible specifications) are
+// reported with exceptions derived from rtcad::Error.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace rtcad {
+
+/// Base class for all recoverable rtcad errors (parse errors, infeasible
+/// specifications, simulation setup mistakes).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Input file could not be parsed (.g STG files, burst-mode specs, ...).
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& file, int line, const std::string& what)
+      : Error(file + ":" + std::to_string(line) + ": " + what),
+        file_(file),
+        line_(line) {}
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  std::string file_;
+  int line_;
+};
+
+/// The specification violates a property the algorithm requires
+/// (inconsistent STG, unbounded net, CSC conflict the solver cannot fix, ...).
+class SpecError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "rtcad: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace rtcad
+
+#define RTCAD_EXPECTS(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::rtcad::contract_failure("precondition", #cond, __FILE__,         \
+                                __LINE__);                               \
+  } while (0)
+
+#define RTCAD_ENSURES(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::rtcad::contract_failure("postcondition", #cond, __FILE__,        \
+                                __LINE__);                               \
+  } while (0)
+
+#define RTCAD_ASSERT(cond)                                               \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::rtcad::contract_failure("invariant", #cond, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,23 @@
+// Small string utilities shared by the parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtcad {
+
+/// Split on any run of characters from `delims`; empty tokens are dropped.
+std::vector<std::string> split(std::string_view s,
+                               std::string_view delims = " \t");
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace rtcad

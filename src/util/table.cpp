@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rtcad {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      const std::size_t pad = width[c] - cell.size();
+      line += ' ';
+      if (c == 0) {  // left align
+        line += cell + std::string(pad, ' ');
+      } else {  // right align
+        line += std::string(pad, ' ') + cell;
+      }
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string sep = "+";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    sep += std::string(width[c] + 2, '-') + "+";
+  sep += '\n';
+
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace rtcad

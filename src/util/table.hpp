@@ -1,0 +1,30 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the paper's table/figure rows through this class
+// so that EXPERIMENTS.md snippets and bench output stay visually identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rtcad {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; first column left-aligned, rest right.
+  std::string to_string() const;
+
+  /// Convenience: render straight to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rtcad

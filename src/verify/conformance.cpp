@@ -1,0 +1,294 @@
+#include "verify/conformance.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace rtcad {
+
+NetConstraint parse_net_constraint(const std::string& text) {
+  const auto tokens = split(text);
+  if (tokens.size() != 3 || (tokens[1] != "before" && tokens[1] != "<"))
+    throw Error("cannot parse net constraint '" + text + "'");
+  auto parse = [](const std::string& t, std::string* net, Polarity* pol) {
+    if (t.size() < 2 || (t.back() != '+' && t.back() != '-'))
+      throw Error("bad net edge '" + t + "'");
+    *net = t.substr(0, t.size() - 1);
+    *pol = t.back() == '+' ? Polarity::kRise : Polarity::kFall;
+  };
+  NetConstraint c;
+  parse(tokens[0], &c.before_net, &c.before_pol);
+  parse(tokens[2], &c.after_net, &c.after_pol);
+  return c;
+}
+
+namespace {
+
+struct ComposedState {
+  std::uint64_t values = 0;
+  Marking marking;
+  bool operator==(const ComposedState&) const = default;
+};
+
+struct ComposedHash {
+  std::size_t operator()(const ComposedState& s) const {
+    return std::hash<std::uint64_t>{}(s.values) * 31 ^ marking_hash(s.marking);
+  }
+};
+
+class Checker {
+ public:
+  Checker(const Netlist& nl, const Stg& spec, const ConformanceOptions& opts)
+      : nl_(nl), spec_(spec), opts_(opts) {
+    RTCAD_EXPECTS(nl.num_nets() <= 64);
+    // Map spec signals to nets and vice versa.
+    net_signal_.assign(nl.num_nets(), -1);
+    signal_net_.assign(spec.num_signals(), -1);
+    for (int s = 0; s < spec.num_signals(); ++s) {
+      // Internal spec signals are NOT observable: conformance is checked
+      // on the I/O behaviour only (lazy internal signals legitimately fire
+      // outside their nominal spec window). Their spec transitions are
+      // fired eagerly with the silent closure.
+      if (spec.signal(s).kind == SignalKind::kInternal) continue;
+      const int net = nl.find_net(spec.signal(s).name);
+      if (net < 0) {
+        if (spec.signal(s).kind == SignalKind::kInput)
+          throw SpecError("conformance: no net for spec input '" +
+                          spec.signal(s).name + "'");
+        continue;
+      }
+      net_signal_[net] = s;
+      signal_net_[s] = net;
+    }
+    for (const auto& c : opts.constraints) {
+      const int b = nl.find_net(c.before_net);
+      const int a = nl.find_net(c.after_net);
+      if (b < 0 || a < 0)
+        throw SpecError("constraint references unknown net '" +
+                        (b < 0 ? c.before_net : c.after_net) + "'");
+      constraints_.push_back({b, c.before_pol, a, c.after_pol});
+    }
+  }
+
+  ConformanceResult run() {
+    ComposedState init;
+    init.marking = spec_.initial_marking();
+    for (int n = 0; n < nl_.num_nets(); ++n) {
+      if (nl_.net(n).initial_value) init.values |= std::uint64_t{1} << n;
+    }
+    fire_silent(&init.marking);
+
+    std::unordered_map<ComposedState, int, ComposedHash> index;
+    std::vector<ComposedState> states{init};
+    std::vector<std::pair<int, std::string>> parent{{-1, ""}};
+    index.emplace(init, 0);
+    std::deque<int> queue{0};
+
+    ConformanceResult result;
+    while (!queue.empty()) {
+      const int si = queue.front();
+      queue.pop_front();
+      const ComposedState state = states[si];
+      ++result.states_explored;
+      if (states.size() > opts_.max_states)
+        throw SpecError("conformance state space exceeds limit");
+
+      bool circuit_can_move = false;
+      bool spec_wants_output = false;
+
+      // --- circuit moves: every excited gate may fire ------------------
+      for (int g = 0; g < nl_.num_gates(); ++g) {
+        const int next = eval_gate(state.values, g);
+        const int out = nl_.gate(g).output;
+        const bool cur = (state.values >> out) & 1;
+        if (next < 0 || next == static_cast<int>(cur)) continue;
+        circuit_can_move = true;
+        const Polarity pol = next ? Polarity::kRise : Polarity::kFall;
+        if (blocked(state, out, pol)) continue;
+
+        ComposedState succ = state;
+        succ.values ^= std::uint64_t{1} << out;
+        const std::string event =
+            nl_.net(out).name + (next ? "+" : "-");
+        // Observable nets must be allowed by the spec.
+        const int sig = net_signal_[out];
+        if (sig >= 0 && !spec_.is_input(sig)) {
+          if (!fire_spec_edge(&succ.marking, Edge{sig, pol})) {
+            result.ok = false;
+            result.failure = "circuit produced " + event +
+                             " which the specification does not allow";
+            result.trace = trace_of(states, parent, si);
+            result.trace.push_back(event);
+            return result;
+          }
+          fire_silent(&succ.marking);
+        }
+        push(succ, si, event, &index, &states, &parent, &queue);
+      }
+
+      // --- environment moves: enabled spec input transitions -----------
+      for (int t : spec_.enabled_transitions(state.marking)) {
+        const auto& label = spec_.transition(t).label;
+        if (!label) continue;
+        if (!spec_.is_input(label->signal)) {
+          spec_wants_output = true;
+          continue;
+        }
+        const int net = signal_net_[label->signal];
+        const bool cur = (state.values >> net) & 1;
+        const bool want = label->pol == Polarity::kRise;
+        if (cur == want) continue;  // already there (shouldn't happen)
+        if (blocked(state, net, label->pol)) continue;
+        ComposedState succ = state;
+        succ.values ^= std::uint64_t{1} << net;
+        succ.marking = spec_.fire(state.marking, t);
+        fire_silent(&succ.marking);
+        const std::string event = spec_.edge_text(*label);
+        push(succ, si, event, &index, &states, &parent, &queue);
+      }
+
+      if (spec_wants_output && !circuit_can_move) {
+        result.ok = false;
+        result.failure = "circuit is quiescent but the specification "
+                         "still expects an output transition";
+        result.trace = trace_of(states, parent, si);
+        return result;
+      }
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  int eval_gate(std::uint64_t values, int g) const {
+    const auto& gate = nl_.gate(g);
+    std::vector<bool> pins(gate.inputs.size());
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i)
+      pins[i] = (values >> gate.inputs[i]) & 1;
+    return eval_cell(Library::standard().cell(gate.cell).kind, pins,
+                     (values >> gate.output) & 1);
+  }
+
+  /// Is net `n` excited to move toward `pol` in this circuit state?
+  bool net_excited(const ComposedState& s, int n, Polarity pol) const {
+    const bool cur = (s.values >> n) & 1;
+    const bool want = pol == Polarity::kRise;
+    if (cur == want) return false;
+    const int driver = nl_.net(n).driver;
+    if (driver >= 0) {
+      const int next = eval_gate(s.values, driver);
+      return next >= 0 && next == static_cast<int>(want);
+    }
+    // Primary input: excited if the spec can fire that edge.
+    const int sig = net_signal_[n];
+    if (sig < 0) return false;
+    for (int t : spec_.enabled_transitions(s.marking)) {
+      const auto& label = spec_.transition(t).label;
+      if (label && label->signal == sig && label->pol == pol) return true;
+    }
+    return false;
+  }
+
+  bool blocked(const ComposedState& s, int net, Polarity pol) const {
+    for (const auto& c : constraints_) {
+      if (c.after_net == net && c.after_pol == pol &&
+          net_excited(s, c.before_net, c.before_pol))
+        return true;
+    }
+    return false;
+  }
+
+  bool fire_spec_edge(Marking* m, const Edge& e) {
+    for (int t : spec_.enabled_transitions(*m)) {
+      const auto& label = spec_.transition(t).label;
+      if (label && *label == e) {
+        *m = spec_.fire(*m, t);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void fire_silent(Marking* m) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int t : spec_.enabled_transitions(*m)) {
+        const auto& label = spec_.transition(t).label;
+        const bool unobservable =
+            !label ||
+            spec_.signal(label->signal).kind == SignalKind::kInternal;
+        if (unobservable) {
+          *m = spec_.fire(*m, t);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  void push(const ComposedState& succ, int from, const std::string& event,
+            std::unordered_map<ComposedState, int, ComposedHash>* index,
+            std::vector<ComposedState>* states,
+            std::vector<std::pair<int, std::string>>* parent,
+            std::deque<int>* queue) {
+    auto [it, inserted] = index->emplace(succ, states->size());
+    if (!inserted) return;
+    states->push_back(succ);
+    parent->push_back({from, event});
+    queue->push_back(it->second);
+  }
+
+  static std::vector<std::string> trace_of(
+      const std::vector<ComposedState>& states,
+      const std::vector<std::pair<int, std::string>>& parent, int s) {
+    std::vector<std::string> trace;
+    for (int i = s; parent[i].first >= 0; i = parent[i].first)
+      trace.push_back(parent[i].second);
+    return {trace.rbegin(), trace.rend()};
+  }
+
+  struct InternalConstraint {
+    int before_net;
+    Polarity before_pol;
+    int after_net;
+    Polarity after_pol;
+  };
+
+  const Netlist& nl_;
+  const Stg& spec_;
+  const ConformanceOptions& opts_;
+  std::vector<int> net_signal_, signal_net_;
+  std::vector<InternalConstraint> constraints_;
+};
+
+}  // namespace
+
+ConformanceResult verify_conformance(const Netlist& netlist, const Stg& spec,
+                                     const ConformanceOptions& opts) {
+  return Checker(netlist, spec, opts).run();
+}
+
+Netlist celement_and_or_netlist() {
+  Netlist nl("celement_and_or");
+  const int a = nl.add_primary_input("a", false);
+  const int b = nl.add_primary_input("b", false);
+  const int ab = nl.add_net("ab", false);
+  const int ac = nl.add_net("ac", false);
+  const int bc = nl.add_net("bc", false);
+  const int c = nl.add_net("c", false);
+  nl.add_gate("AND2", {a, b}, ab);
+  nl.add_gate("AND2", {a, c}, ac);
+  nl.add_gate("AND2", {b, c}, bc);
+  nl.add_gate("OR3", {ab, ac, bc}, c);
+  nl.mark_primary_output(c);
+  return nl;
+}
+
+std::vector<NetConstraint> celement_and_or_constraints() {
+  return {parse_net_constraint("ac+ before ab-"),
+          parse_net_constraint("bc+ before ab-")};
+}
+
+}  // namespace rtcad

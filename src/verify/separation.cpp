@@ -1,0 +1,145 @@
+#include "verify/separation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace rtcad {
+namespace {
+
+/// Causal graph node = net id. Edges carry [min,max] delays.
+struct CausalEdge {
+  int from;
+  int to;
+  double min_ps;
+  double max_ps;
+};
+
+std::vector<CausalEdge> causal_edges(const Netlist& nl, const Stg& spec,
+                                     const SeparationOptions& opts) {
+  std::vector<CausalEdge> edges;
+  // Gate edges: every input -> output.
+  for (int g = 0; g < nl.num_gates(); ++g) {
+    const CellType& cell = Library::standard().cell(nl.gate(g).cell);
+    const double d = cell.delay_ps * nl.gate(g).delay_scale;
+    for (int in : nl.gate(g).inputs) {
+      edges.push_back({in, nl.gate(g).output, d * (1 - opts.gate_variation),
+                       d * (1 + opts.gate_variation)});
+    }
+  }
+  // Environment edges from the spec structure: a non-input edge that
+  // directly precedes an input edge means the environment responds to it.
+  for (int p = 0; p < spec.num_places(); ++p) {
+    for (int tu : spec.place(p).pre) {
+      const auto& lu = spec.transition(tu).label;
+      if (!lu || spec.is_input(lu->signal)) continue;
+      for (int tv : spec.place(p).post) {
+        const auto& lv = spec.transition(tv).label;
+        if (!lv || !spec.is_input(lv->signal)) continue;
+        const int from = nl.find_net(spec.signal(lu->signal).name);
+        const int to = nl.find_net(spec.signal(lv->signal).name);
+        if (from >= 0 && to >= 0)
+          edges.push_back({from, to, opts.env_min_ps, opts.env_max_ps});
+      }
+    }
+  }
+  return edges;
+}
+
+/// Distances (in edge count) from every node to `target`, ignoring delay.
+std::vector<int> hops_to(const std::vector<CausalEdge>& edges, int nodes,
+                         int target) {
+  std::vector<int> dist(nodes, -1);
+  dist[target] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& e : edges) {
+      if (dist[e.to] >= 0 && (dist[e.from] < 0 ||
+                              dist[e.from] > dist[e.to] + 1)) {
+        dist[e.from] = dist[e.to] + 1;
+        changed = true;
+      }
+    }
+  }
+  return dist;
+}
+
+/// Shortest-hop path from `source` to `target`; also accumulates the
+/// min-possible and max-possible delay along that path.
+void extract_path(const std::vector<CausalEdge>& edges,
+                  const std::vector<int>& dist_to_target, int source,
+                  const Netlist& nl, std::vector<std::string>* out_path,
+                  double* out_min, double* out_max) {
+  int cur = source;
+  *out_min = 0;
+  *out_max = 0;
+  out_path->push_back(nl.net(cur).name);
+  while (dist_to_target[cur] > 0) {
+    // Follow any edge that decreases the distance.
+    for (const auto& e : edges) {
+      if (e.from == cur && dist_to_target[e.to] == dist_to_target[cur] - 1) {
+        *out_min += e.min_ps;
+        *out_max += e.max_ps;
+        cur = e.to;
+        out_path->push_back(nl.net(cur).name);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PathConstraint derive_path_constraint(const Netlist& netlist, const Stg& spec,
+                                      const NetConstraint& c,
+                                      const SeparationOptions& opts) {
+  const int u = netlist.find_net(c.before_net);
+  const int v = netlist.find_net(c.after_net);
+  if (u < 0 || v < 0)
+    throw SpecError("separation: unknown net in constraint");
+
+  const auto edges = causal_edges(netlist, spec, opts);
+  const auto du = hops_to(edges, netlist.num_nets(), u);
+  const auto dv = hops_to(edges, netlist.num_nets(), v);
+
+  // Earliest common enabling signal: the common ancestor maximizing the
+  // smaller distance (ties: maximize total distance) — for the paper's
+  // C-element this picks c for the pair (bc, ab).
+  // Prefer driven nets over primary inputs (an input's own timing is just
+  // the environment edge from the output that caused it); pick the LATEST
+  // common cause: minimal smaller-distance, ties broken toward the longer
+  // combined span.
+  int best = -1;
+  auto better = [&](int n, int old) {
+    if (old < 0) return true;
+    const bool n_pi = netlist.net(n).is_primary_input;
+    const bool o_pi = netlist.net(old).is_primary_input;
+    if (n_pi != o_pi) return o_pi;
+    const int cur_min = std::min(du[n], dv[n]);
+    const int best_min = std::min(du[old], dv[old]);
+    if (cur_min != best_min) return cur_min < best_min;
+    return du[n] + dv[n] > du[old] + dv[old];
+  };
+  for (int n = 0; n < netlist.num_nets(); ++n) {
+    if (n == u || n == v) continue;
+    if (du[n] < 0 || dv[n] < 0) continue;
+    if (better(n, best)) best = n;
+  }
+  if (best < 0)
+    throw SpecError("no common enabling signal for constraint " +
+                    c.before_net + " before " + c.after_net);
+
+  PathConstraint out;
+  out.common_source = netlist.net(best).name;
+  double fast_min = 0;
+  extract_path(edges, du, best, netlist, &out.fast_path, &fast_min,
+               &out.fast_max_ps);
+  double slow_max = 0;
+  extract_path(edges, dv, best, netlist, &out.slow_path, &out.slow_min_ps,
+               &slow_max);
+  out.satisfied = out.fast_max_ps < out.slow_min_ps;
+  return out;
+}
+
+}  // namespace rtcad

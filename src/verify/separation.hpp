@@ -1,0 +1,46 @@
+// Path-constraint generation and min/max separation analysis (Section 5).
+//
+// An RT requirement "u before v" produced by verification is turned into a
+// PATH constraint by finding the earliest common enabling signal: the
+// causal ancestor (through gates AND through the environment edges of the
+// specification) from which both u and v descend. The requirement then
+// reads "the path source->u must be faster than the path source->v", which
+// is checkable against the physical netlist with min/max gate delays —
+// the role SPICE or separation analysis plays in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "stg/stg.hpp"
+#include "verify/conformance.hpp"
+
+namespace rtcad {
+
+struct SeparationOptions {
+  /// Environment response window (an input edge follows the output edge
+  /// that causes it per the spec arcs within this window).
+  double env_min_ps = 150.0;
+  double env_max_ps = 1000.0;
+  /// Per-gate delay spread: min = nominal*(1-v), max = nominal*(1+v).
+  double gate_variation = 0.25;
+};
+
+struct PathConstraint {
+  std::string common_source;
+  std::vector<std::string> fast_path;  ///< source .. before-net
+  std::vector<std::string> slow_path;  ///< source .. after-net
+  double fast_max_ps = 0.0;            ///< worst case of the fast path
+  double slow_min_ps = 0.0;            ///< best case of the slow path
+  bool satisfied = false;              ///< fast_max < slow_min
+};
+
+/// Derive the path form of `c` over the causal graph of `netlist` plus the
+/// environment arcs of `spec`, and check it under the delay model.
+/// Throws SpecError when no common causal source exists.
+PathConstraint derive_path_constraint(const Netlist& netlist, const Stg& spec,
+                                      const NetConstraint& c,
+                                      const SeparationOptions& opts = {});
+
+}  // namespace rtcad

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "flow/rtflow.hpp"
+#include "netlist/compose.hpp"
+#include "sim/sim.hpp"
+#include "sim/stgenv.hpp"
+#include "stg/builders.hpp"
+
+namespace rtcad {
+namespace {
+
+Netlist make_celement_cell() {
+  Netlist nl("cel");
+  const int a = nl.add_primary_input("a", false);
+  const int b = nl.add_primary_input("b", false);
+  const int c = nl.add_net("c", false);
+  nl.add_gate("CEL2", {a, b}, c);
+  nl.mark_primary_output(c);
+  return nl;
+}
+
+TEST(Compose, InstantiateCreatesPrefixedNets) {
+  Netlist top("top");
+  const int x = top.add_primary_input("x", false);
+  const int y = top.add_primary_input("y", false);
+  const int z = top.add_net("z", false);
+  top.mark_primary_output(z);
+  instantiate(&top, make_celement_cell(), "u0_",
+              {{"a", x}, {"b", y}, {"c", z}});
+  top.validate();
+  EXPECT_EQ(top.num_gates(), 1);
+  EXPECT_EQ(top.net(z).driver, 0);
+}
+
+TEST(Compose, UnmappedPortsBecomeInternal) {
+  Netlist top("top");
+  const int x = top.add_primary_input("x", false);
+  const int z = top.add_net("z", false);
+  // Leave 'b' unmapped: it becomes a floating internal net u0_b (driven by
+  // nothing) -> validate must reject.
+  instantiate(&top, make_celement_cell(), "u0_", {{"a", x}, {"c", z}});
+  EXPECT_THROW(top.validate(), SpecError);
+  EXPECT_GE(top.find_net("u0_b"), 0);
+}
+
+TEST(Compose, RejectsDoubleDriving) {
+  Netlist top("top");
+  const int x = top.add_primary_input("x", false);
+  const int z = top.add_net("z", false);
+  const int i = top.add_net("inv", false);
+  top.add_gate("INV", {x}, z);
+  instantiate(&top, make_celement_cell(), "u0_", {{"a", x}, {"b", i}});
+  // Mapping c onto the already-driven z must be rejected.
+  EXPECT_DEATH(instantiate(&top, make_celement_cell(), "u1_",
+                           {{"a", x}, {"b", i}, {"c", z}}),
+               "precondition");
+}
+
+TEST(Compose, FifoChainOfRtCellsRuns) {
+  // Synthesize the Figure-5 RT cell once, instantiate it three times, and
+  // drive the chain with the single-cell protocol at each end. End-to-end
+  // tokens must flow: left handshakes complete and ro pulses appear.
+  FlowOptions o;
+  o.mode = FlowMode::kRelativeTiming;
+  const FlowResult r = run_flow(fifo_csc_stg(), o);
+  const Netlist chain = fifo_chain(r.netlist(), 3);
+  EXPECT_EQ(chain.num_gates(), 3 * r.netlist().num_gates());
+
+  Simulator sim(chain);
+  // Left producer: four-phase driver on li answering lo; right consumer:
+  // answering ro with ri.
+  const int li = chain.find_net("li"), lo = chain.find_net("lo");
+  const int ro = chain.find_net("ro"), ri = chain.find_net("ri");
+  long sent = 0, received = 0;
+  sim.add_watcher([&](int net, bool v, double) {
+    if (net == lo) {
+      sim.set_input(li, !v, 220.0);  // lo+ -> li-, lo- -> li+
+      if (v) ++sent;
+    }
+    if (net == ro) {
+      sim.set_input(ri, v, 200.0);
+      if (v) ++received;
+    }
+  });
+  sim.set_input(li, true, 100.0);
+  sim.run(300000.0);
+  EXPECT_GE(sent, 20);
+  EXPECT_GE(received, 20);
+  EXPECT_LE(received, sent);
+}
+
+TEST(Compose, LongerChainsStillFlow) {
+  FlowOptions o;
+  o.mode = FlowMode::kRelativeTiming;
+  const FlowResult r = run_flow(fifo_csc_stg(), o);
+  for (int stages : {1, 2, 5}) {
+    const Netlist chain = fifo_chain(r.netlist(), stages);
+    Simulator sim(chain);
+    const int li = chain.find_net("li"), lo = chain.find_net("lo");
+    const int ro = chain.find_net("ro"), ri = chain.find_net("ri");
+    long received = 0;
+    sim.add_watcher([&](int net, bool v, double) {
+      if (net == lo) sim.set_input(li, !v, 220.0);
+      if (net == ro) {
+        sim.set_input(ri, v, 200.0);
+        if (v) ++received;
+      }
+    });
+    sim.set_input(li, true, 100.0);
+    sim.run(200000.0);
+    EXPECT_GE(received, 10) << stages << " stages";
+  }
+}
+
+}  // namespace
+}  // namespace rtcad

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "netlist/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rtcad {
+namespace {
+
+TEST(Library, LookupByName) {
+  const Library& lib = Library::standard();
+  EXPECT_EQ(lib.cell(lib.cell_id("NAND2")).kind, CellKind::kNand);
+  EXPECT_THROW(lib.cell_id("NOPE9"), Error);
+}
+
+TEST(Library, FindByArity) {
+  const Library& lib = Library::standard();
+  const int nor3 = lib.find(CellKind::kNor, 3);
+  EXPECT_EQ(lib.cell(nor3).name, "NOR3");
+  // Domino cells: data pins exclude the control pin.
+  const int domf2 = lib.find(CellKind::kDominoF, 2);
+  EXPECT_EQ(lib.cell(domf2).name, "DOMF2");
+  EXPECT_EQ(lib.cell(domf2).num_pins, 3);
+  EXPECT_THROW(lib.find(CellKind::kAnd, 9), Error);
+}
+
+TEST(Library, TransistorCountsPlausible) {
+  const Library& lib = Library::standard();
+  EXPECT_EQ(lib.cell(lib.cell_id("INV")).transistors, 2);
+  EXPECT_EQ(lib.cell(lib.cell_id("NAND2")).transistors, 4);
+  EXPECT_GT(lib.cell(lib.cell_id("CEL2")).transistors,
+            lib.cell(lib.cell_id("NAND2")).transistors);
+  // Unfooted domino is smaller than footed (one fewer transistor).
+  EXPECT_LT(lib.cell(lib.cell_id("DOMU2")).transistors,
+            lib.cell(lib.cell_id("DOMF2")).transistors);
+}
+
+TEST(EvalCell, StaticGates) {
+  EXPECT_EQ(eval_cell(CellKind::kInv, {true}, false), 0);
+  EXPECT_EQ(eval_cell(CellKind::kInv, {false}, false), 1);
+  EXPECT_EQ(eval_cell(CellKind::kNand, {true, true}, false), 0);
+  EXPECT_EQ(eval_cell(CellKind::kNand, {true, false}, false), 1);
+  EXPECT_EQ(eval_cell(CellKind::kNor, {false, false}, false), 1);
+  EXPECT_EQ(eval_cell(CellKind::kAnd, {true, true, true}, false), 1);
+  EXPECT_EQ(eval_cell(CellKind::kOr, {false, false}, false), 0);
+  EXPECT_EQ(eval_cell(CellKind::kXor, {true, true}, false), 0);
+  EXPECT_EQ(eval_cell(CellKind::kXor, {true, false}, false), 1);
+  EXPECT_EQ(eval_cell(CellKind::kAoi21, {true, true, false}, false), 0);
+  EXPECT_EQ(eval_cell(CellKind::kAoi21, {false, true, false}, false), 1);
+  EXPECT_EQ(eval_cell(CellKind::kOai21, {true, false, true}, false), 0);
+  EXPECT_EQ(eval_cell(CellKind::kOai21, {false, false, true}, false), 1);
+}
+
+TEST(EvalCell, CelementHolds) {
+  EXPECT_EQ(eval_cell(CellKind::kCelement, {true, true}, false), 1);
+  EXPECT_EQ(eval_cell(CellKind::kCelement, {false, false}, true), 0);
+  EXPECT_EQ(eval_cell(CellKind::kCelement, {true, false}, false), -1);
+  EXPECT_EQ(eval_cell(CellKind::kCelement, {true, false}, true), -1);
+}
+
+TEST(EvalCell, SrLatch) {
+  EXPECT_EQ(eval_cell(CellKind::kSrLatch, {true, false}, false), 1);
+  EXPECT_EQ(eval_cell(CellKind::kSrLatch, {false, true}, true), 0);
+  EXPECT_EQ(eval_cell(CellKind::kSrLatch, {false, false}, true), -1);
+  EXPECT_EQ(eval_cell(CellKind::kSrLatch, {true, true}, false), 1);  // set wins
+}
+
+TEST(EvalCell, FootedDomino) {
+  // pin0 = foot. Foot low: precharge to 0.
+  EXPECT_EQ(eval_cell(CellKind::kDominoF, {false, true}, true), 0);
+  // Foot high + data true: evaluate to 1.
+  EXPECT_EQ(eval_cell(CellKind::kDominoF, {true, true}, false), 1);
+  // Foot high, data false, already evaluated: dynamic node holds.
+  EXPECT_EQ(eval_cell(CellKind::kDominoF, {true, false}, true), -1);
+  // Foot high, data false, not evaluated: stays 0.
+  EXPECT_EQ(eval_cell(CellKind::kDominoF, {true, false}, false), 0);
+}
+
+TEST(EvalCell, UnfootedDomino) {
+  // pin0 = precharge.
+  EXPECT_EQ(eval_cell(CellKind::kDominoU, {true, true}, true), 0);
+  EXPECT_EQ(eval_cell(CellKind::kDominoU, {false, true}, false), 1);
+  EXPECT_EQ(eval_cell(CellKind::kDominoU, {false, false}, true), -1);
+}
+
+TEST(Netlist, BuildAndCount) {
+  Netlist nl("buf_chain");
+  const int a = nl.add_primary_input("a");
+  const int m = nl.add_net("m");
+  const int z = nl.add_net("z");
+  nl.add_gate("INV", {a}, m);
+  nl.add_gate("INV", {m}, z);
+  nl.mark_primary_output(z);
+  nl.validate();
+  EXPECT_EQ(nl.transistor_count(), 4);
+  EXPECT_EQ(nl.net(m).fanout.size(), 1u);
+  EXPECT_EQ(nl.net(a).fanout.size(), 1u);
+  EXPECT_EQ(nl.logic_depth(z), 2);
+  EXPECT_EQ(nl.logic_depth(a), 0);
+}
+
+TEST(Netlist, DepthRestartsAtStatefulCells) {
+  Netlist nl("c");
+  const int a = nl.add_primary_input("a");
+  const int b = nl.add_primary_input("b");
+  const int i1 = nl.add_net("i1");
+  const int c = nl.add_net("c");
+  const int z = nl.add_net("z");
+  nl.add_gate("INV", {a}, i1);
+  nl.add_gate("CEL2", {i1, b}, c);
+  nl.add_gate("INV", {c}, z);
+  EXPECT_EQ(nl.logic_depth(c), 1);  // C-element restarts the count
+  EXPECT_EQ(nl.logic_depth(z), 2);
+}
+
+TEST(Netlist, DepthToleratesFeedback) {
+  // Cross-coupled NOR latch built from plain gates: depth must terminate.
+  Netlist nl("latch");
+  const int s = nl.add_primary_input("s");
+  const int r = nl.add_primary_input("r");
+  const int q = nl.add_net("q");
+  const int qb = nl.add_net("qb", true);
+  nl.add_gate("NOR2", {r, qb}, q);
+  nl.add_gate("NOR2", {s, q}, qb);
+  EXPECT_GE(nl.logic_depth(q), 1);
+}
+
+TEST(Netlist, ValidateCatchesUndriven) {
+  Netlist nl("bad");
+  nl.add_net("floating");
+  EXPECT_THROW(nl.validate(), SpecError);
+}
+
+TEST(Netlist, TextDump) {
+  Netlist nl("dump");
+  const int a = nl.add_primary_input("a");
+  const int z = nl.add_net("z");
+  nl.add_gate("INV", {a}, z);
+  nl.mark_primary_output(z);
+  const std::string text = nl.to_text();
+  EXPECT_NE(text.find("z = INV(a)"), std::string::npos);
+  EXPECT_NE(text.find(".output z"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtcad

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "flow/rtflow.hpp"
+#include "sim/sim.hpp"
+#include "sim/stgenv.hpp"
+#include "stg/builders.hpp"
+#include "stg/parse.hpp"
+#include "synth/gatesynth.hpp"
+#include "synth/nextstate.hpp"
+#include "synth/pulse.hpp"
+#include "synth/rtsynth.hpp"
+
+namespace rtcad {
+namespace {
+
+std::vector<RtAssumption> ring_assumptions(const Stg& f) {
+  return {parse_assumption(f, "ri- before li+"),
+          parse_assumption(f, "ri+ before li+"),
+          parse_assumption(f, "li- before ri-")};
+}
+
+TEST(NextState, CelementFunctions) {
+  const Stg spec = celement_stg();
+  const StateGraph sg = StateGraph::build(spec);
+  const SignalFunctions fns = derive_functions(sg, spec.signal_id("c"));
+  EXPECT_TRUE(fns.needs_state_holding);
+  // Set region: a=1 b=1 c=0 -> minterm with a,b set.
+  const int a = spec.signal_id("a"), b = spec.signal_id("b"),
+            c = spec.signal_id("c");
+  const std::uint32_t m_set = (1u << a) | (1u << b);
+  EXPECT_TRUE(fns.set_fn.is_on(m_set));
+  EXPECT_TRUE(fns.reset_fn.is_on(1u << c));  // a=b=0, c=1
+}
+
+TEST(NextState, CscViolationThrows) {
+  const StateGraph sg = StateGraph::build(fifo_stg());
+  EXPECT_THROW(derive_functions(sg, sg.stg().signal_id("ro")), SpecError);
+}
+
+TEST(SynthSi, CelementMapsToCelementCell) {
+  const StateGraph sg = StateGraph::build(celement_stg());
+  const SynthResult r = synthesize_si(sg);
+  ASSERT_EQ(r.netlist.num_gates(), 1);
+  EXPECT_EQ(Library::standard().cell(r.netlist.gate(0).cell).kind,
+            CellKind::kCelement);
+}
+
+TEST(SynthSi, FifoCscSynthesizesAndSimulates) {
+  const StateGraph sg = StateGraph::build(fifo_csc_stg());
+  const SynthResult r = synthesize_si(sg);
+  EXPECT_GT(r.netlist.transistor_count(), 20);
+
+  // Run it against the specification environment: must conform and cycle.
+  // The environment pace honours the SI circuit's internal-signal timing
+  // obligations (x must settle before the next input edge arrives).
+  Simulator sim(r.netlist);
+  StgEnvOptions eopts;
+  eopts.input_delay_min_ps = 420.0;
+  eopts.input_delay_max_ps = 650.0;
+  StgEnvironment env(fifo_csc_stg(), sim, eopts);
+  env.start();
+  sim.run(200000.0);
+  EXPECT_TRUE(env.conforms()) << env.violations().front().what;
+  EXPECT_FALSE(env.deadlocked());
+  EXPECT_GE(env.cycles(), 20);
+}
+
+TEST(SynthSi, ComplexGateStyleWorksToo) {
+  SynthOptions opts;
+  opts.style = SynthStyle::kComplexGate;
+  const StateGraph sg = StateGraph::build(fifo_csc_stg());
+  const SynthResult r = synthesize_si(sg, opts);
+  Simulator sim(r.netlist);
+  StgEnvOptions eopts;
+  eopts.input_delay_min_ps = 420.0;
+  eopts.input_delay_max_ps = 650.0;
+  StgEnvironment env(fifo_csc_stg(), sim, eopts);
+  env.start();
+  sim.run(200000.0);
+  EXPECT_TRUE(env.conforms());
+  EXPECT_GE(env.cycles(), 20);
+}
+
+TEST(SynthSi, PipelineStagesSynthesize) {
+  for (int n = 1; n <= 3; ++n) {
+    const StateGraph sg = StateGraph::build(pipeline_stg(n));
+    const SynthResult r = synthesize_si(sg);
+    EXPECT_GE(r.netlist.num_gates(), n);
+  }
+}
+
+TEST(SynthRt, FifoCscProducesDominoesAndConstraints) {
+  const StateGraph sg = StateGraph::build(fifo_csc_stg());
+  const RtSynthResult r = synthesize_rt(sg);
+  // The RT circuit must be smaller than the SI one and carry constraints.
+  const SynthResult si = synthesize_si(sg);
+  EXPECT_LT(r.netlist.transistor_count(), si.netlist.transistor_count());
+  EXPECT_FALSE(r.constraints.empty());
+  // The paper's most stringent constraint must be found: x+ before ri-.
+  bool found = false;
+  for (const auto& c : r.constraints) {
+    if (sg.stg().edge_text(c.before) == "x+" &&
+        sg.stg().edge_text(c.after) == "ri-")
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SynthRt, RingAssumptionsGiveFigureSixCircuit) {
+  const Stg f = fifo_stg();
+  const StateGraph sg = StateGraph::build(f);
+  RtSynthOptions opts;
+  opts.generate.outputs_beat_inputs = true;
+  opts.allow_unfooted = true;
+  opts.user_assumptions = ring_assumptions(f);
+  const RtSynthResult r = synthesize_rt(sg, opts);
+  // No state signal, unfooted dominoes, about 15-20 transistors.
+  EXPECT_LE(r.netlist.transistor_count(), 20);
+  bool has_unfooted = false;
+  for (int g = 0; g < r.netlist.num_gates(); ++g) {
+    if (Library::standard().cell(r.netlist.gate(g).cell).kind ==
+        CellKind::kDominoU)
+      has_unfooted = true;
+  }
+  EXPECT_TRUE(has_unfooted);
+  // User assumptions must be among the back-annotated constraints.
+  int user = 0;
+  for (const auto& c : r.constraints)
+    if (c.origin == RtOrigin::kUser) ++user;
+  EXPECT_EQ(user, 3);
+}
+
+TEST(SynthRt, WithoutUserAssumptionsDecoupledFifoFails) {
+  const StateGraph sg = StateGraph::build(fifo_stg());
+  EXPECT_THROW(synthesize_rt(sg), SpecError);
+}
+
+TEST(Flow, SiAndRtEndToEnd) {
+  FlowOptions si;
+  si.mode = FlowMode::kSpeedIndependent;
+  const FlowResult rsi = run_flow(fifo_csc_stg(), si);
+  ASSERT_TRUE(rsi.si.has_value());
+
+  FlowOptions rt;
+  rt.mode = FlowMode::kRelativeTiming;
+  const FlowResult rrt = run_flow(fifo_csc_stg(), rt);
+  ASSERT_TRUE(rrt.rt.has_value());
+  EXPECT_LT(rrt.netlist().transistor_count(),
+            rsi.netlist().transistor_count());
+  EXPECT_GE(rrt.stages.size(), 4u);
+}
+
+TEST(Flow, EncodesToggleAutomatically) {
+  FlowOptions opts;
+  opts.mode = FlowMode::kSpeedIndependent;
+  const FlowResult r = run_flow(toggle_stg(), opts);
+  EXPECT_EQ(r.state_signals_added, 1);
+  EXPECT_GE(r.netlist().num_gates(), 2);
+}
+
+TEST(Flow, EncodesVmeAutomatically) {
+  FlowOptions opts;
+  opts.mode = FlowMode::kSpeedIndependent;
+  const FlowResult r = run_flow(vme_stg(), opts);
+  EXPECT_EQ(r.state_signals_added, 1);
+  // And the result simulates against the encoded spec.
+  Simulator sim(r.netlist());
+  StgEnvironment env(r.spec, sim, {});
+  env.start();
+  sim.run(200000.0);
+  EXPECT_TRUE(env.conforms()) << env.violations().front().what;
+  EXPECT_GE(env.cycles(), 10);
+}
+
+TEST(Flow, RejectsNonPersistentSpec) {
+  // An input (b+) can steal the token that enables output y+: firing b+
+  // disables an excited output, so the spec is not output-persistent.
+  const std::string text = R"(
+.model race
+.inputs a b
+.outputs y
+.graph
+a+ p
+p y+ b+
+y+ a-/1
+b+ a-/2
+a-/1 y-
+a-/2 b-
+y- q
+b- q
+q a+
+.marking { q }
+.end
+)";
+  FlowOptions opts;
+  EXPECT_THROW(run_flow(parse_stg_string(text), opts), SpecError);
+}
+
+TEST(Pulse, FifoStageShape) {
+  const PulseFifoResult p = pulse_fifo_netlist();
+  EXPECT_EQ(p.netlist.transistor_count(), 17);  // Table 2's pulse row
+  EXPECT_EQ(p.protocol_constraints.size(), 4u);  // Figure 7(b) arcs
+}
+
+TEST(Pulse, RingCirculatesToken) {
+  const Netlist ring = pulse_ring(4);
+  Simulator sim(ring);
+  long pulses = 0;
+  const int ro0 = ring.find_net("ro0");
+  sim.add_watcher([&](int net, bool v, double) {
+    if (net == ro0 && v) ++pulses;
+  });
+  sim.run(100000.0);
+  EXPECT_GE(pulses, 10);  // token keeps circulating
+}
+
+TEST(Pulse, RingFrequencyScalesWithStages) {
+  auto period = [](int stages) {
+    const Netlist ring = pulse_ring(stages);
+    Simulator sim(ring);
+    std::vector<double> times;
+    const int ro0 = ring.find_net("ro0");
+    sim.add_watcher([&](int net, bool v, double t) {
+      if (net == ro0 && v) times.push_back(t);
+    });
+    sim.run(200000.0);
+    return cycle_stats(times).avg_ps;
+  };
+  EXPECT_GT(period(6), period(3));
+}
+
+}  // namespace
+}  // namespace rtcad
