@@ -1,15 +1,74 @@
 // Figure 2: the RT synthesis design flow, exercised end-to-end on the
 // benchmark suite. For each specification the bench reports every stage:
 // reachability, state encoding, assumption generation, lazy state graph,
-// logic synthesis, back-annotation.
+// logic synthesis, back-annotation. A second section times state-graph
+// construction against a replica of the seed implementation (per-state
+// std::unordered_map lookups, per-edge marking/vector allocation) on the
+// largest built-in spec.
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <unordered_map>
 
 #include "flow/rtflow.hpp"
+#include "sg/stategraph.hpp"
 #include "stg/builders.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 using namespace rtcad;
+
+namespace {
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const { return marking_hash(m); }
+};
+
+// Replica of the seed StateGraph::build reachability loop: unordered_map
+// visited index, a fresh std::vector from enabled_transitions() per state
+// and a fresh Marking from fire() per edge. Kept here as the baseline the
+// open-addressed/scratch-buffer overhaul is measured against.
+int seed_reachability(const Stg& stg) {
+  std::unordered_map<Marking, int, MarkingHash> index;
+  std::vector<Marking> markings;
+  std::vector<std::vector<std::pair<int, int>>> succ;
+  const Marking m0 = stg.initial_marking();
+  index.emplace(m0, 0);
+  markings.push_back(m0);
+  succ.emplace_back();
+  std::vector<int> queue{0};
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const int si = queue[qi];
+    const Marking marking = markings[si];
+    for (int t : stg.enabled_transitions(marking)) {
+      const Marking next = stg.fire(marking, t);
+      const int candidate_id = static_cast<int>(markings.size());
+      const auto insertion = index.emplace(next, candidate_id);
+      if (insertion.second) {
+        markings.push_back(next);
+        succ.emplace_back();
+        queue.push_back(candidate_id);
+      }
+      succ[si].emplace_back(t, insertion.first->second);
+    }
+  }
+  return static_cast<int>(markings.size());
+}
+
+double best_of_ms(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
 
 int main() {
   std::puts("=== Figure 2: RT synthesis flow, per-stage report ===\n");
@@ -60,6 +119,34 @@ int main() {
   }
   std::puts("");
   t.print();
+
+  // --- state-graph construction: seed replica vs overhauled hot path ------
+  {
+    const int stages = 14;  // 2^15 states: the largest built-in spec
+    const Stg big = pipeline_stg(stages);
+    SgOptions unlimited;
+    unlimited.max_states = std::size_t{1} << 22;
+    int seed_states = 0, new_states = 0;
+    const double seed_ms =
+        best_of_ms(3, [&] { seed_states = seed_reachability(big); });
+    const double new_ms = best_of_ms(3, [&] {
+      new_states = StateGraph::build(big, unlimited).num_states();
+    });
+    std::printf(
+        "\nstate-graph construction, pipeline_stg(%d) (%d states):\n"
+        "  seed replica (unordered_map + per-edge alloc): %8.2f ms\n"
+        "  overhauled (open-addressed + scratch buffers): %8.2f ms\n"
+        "  speedup: %.2fx\n",
+        stages, new_states, seed_ms, new_ms, seed_ms / new_ms);
+    if (seed_states != new_states) {
+      std::printf("state count mismatch: seed %d vs new %d\n", seed_states,
+                  new_states);
+      all_ok = false;
+    }
+    // Note: the new build also verifies consistency and assigns codes; the
+    // replica does reachability only, so the comparison favors the seed.
+  }
+
   std::printf("\nshape check: %s\n", all_ok ? "PASS" : "FAIL");
   return all_ok ? 0 : 1;
 }

@@ -1,0 +1,213 @@
+#include "flow/batchflow.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "stg/builders.hpp"
+#include "stg/parse.hpp"
+#include "util/strings.hpp"
+
+namespace rtcad {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+BatchItemResult run_one(const BatchSpec& item) {
+  BatchItemResult r;
+  r.name = item.name;
+  if (item.load_error) {
+    r.diagnostic = *item.load_error;
+    return r;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const FlowResult flow = run_flow(item.spec, item.opts);
+    r.ok = true;
+    r.states = flow.states;
+    r.states_reduced = flow.states_reduced;
+    r.state_signals_added = flow.state_signals_added;
+    r.literals = flow.literals();
+    r.transistors = flow.netlist().transistor_count();
+    r.constraints = flow.rt ? flow.rt->constraints.size() : 0;
+    r.stages = flow.stages;
+  } catch (const ParseError& e) {
+    r.diagnostic = BatchDiagnostic{"parse", e.what()};
+  } catch (const Error& e) {
+    r.diagnostic = BatchDiagnostic{"spec", e.what()};
+  } catch (const std::exception& e) {
+    r.diagnostic = BatchDiagnostic{"internal", e.what()};
+  }
+  r.wall_ms = ms_since(start);
+  return r;
+}
+
+}  // namespace
+
+BatchResult run_batch(const std::vector<BatchSpec>& corpus,
+                      const BatchOptions& opts) {
+  const auto start = std::chrono::steady_clock::now();
+  BatchResult result;
+  result.items.resize(corpus.size());
+
+  std::size_t requested = opts.threads > 0
+                              ? static_cast<std::size_t>(opts.threads)
+                              : std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t workers = std::min(requested, corpus.size());
+
+  // Work-stealing by atomic cursor: items are claimed in corpus order and
+  // written to their own slot, so aggregation is independent of scheduling.
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&corpus, &result, &cursor] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= corpus.size()) return;
+      result.items[i] = run_one(corpus[i]);
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  for (const auto& item : result.items) {
+    if (item.ok)
+      ++result.ok_count;
+    else
+      ++result.failed_count;
+  }
+  result.wall_ms = ms_since(start);
+  return result;
+}
+
+std::vector<BatchSpec> builtin_corpus(int max_pipeline_stages) {
+  RTCAD_EXPECTS(max_pipeline_stages >= 1);
+  FlowOptions si;
+  si.mode = FlowMode::kSpeedIndependent;
+  FlowOptions rt;
+  rt.mode = FlowMode::kRelativeTiming;
+
+  std::vector<BatchSpec> corpus;
+  const auto add = [&corpus](std::string name, Stg spec,
+                             const FlowOptions& opts) {
+    corpus.push_back(BatchSpec{std::move(name), std::move(spec), opts, {}});
+  };
+  add("fifo_csc:SI", fifo_csc_stg(), si);
+  add("fifo_csc:RT", fifo_csc_stg(), rt);
+  add("fifo_si:SI", fifo_si_stg(), si);
+  add("celement:SI", celement_stg(), si);
+  add("toggle:SI", toggle_stg(), si);
+  add("vme:SI", vme_stg(), si);
+  add("call:SI", call_stg(), si);
+  for (int n = 2; n <= max_pipeline_stages; ++n)
+    add(strprintf("pipeline%d:SI", n), pipeline_stg(n), si);
+  return corpus;
+}
+
+std::vector<BatchSpec> load_corpus_files(const std::vector<std::string>& paths,
+                                         const FlowOptions& opts) {
+  std::vector<BatchSpec> corpus;
+  corpus.reserve(paths.size());
+  for (const std::string& path : paths) {
+    BatchSpec item;
+    item.name = path;
+    item.opts = opts;
+    try {
+      item.spec = parse_stg_file(path);
+    } catch (const ParseError& e) {
+      item.load_error = BatchDiagnostic{"parse", e.what()};
+    } catch (const Error& e) {
+      item.load_error = BatchDiagnostic{"parse", e.what()};
+    }
+    corpus.push_back(std::move(item));
+  }
+  return corpus;
+}
+
+namespace {
+
+// printf's %f honors LC_NUMERIC (arbitrary decimal separators); JSON
+// requires '.'. Compose from integers, which are locale-proof.
+std::string json_number(double ms) {
+  long long micros = std::llround(ms * 1000.0);
+  if (micros < 0) micros = 0;
+  return strprintf("%lld.%03lld", micros / 1000, micros % 1000);
+}
+
+void append_json_string(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          *out += strprintf("\\u%04x", c);
+        else
+          out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string to_json(const BatchResult& result, bool include_timings) {
+  std::string out = "{\n";
+  out += strprintf("  \"corpus\": %zu,\n", result.items.size());
+  out += strprintf("  \"ok\": %d,\n", result.ok_count);
+  out += strprintf("  \"failed\": %d,\n", result.failed_count);
+  if (include_timings)
+    out += "  \"wall_ms\": " + json_number(result.wall_ms) + ",\n";
+  out += "  \"items\": [\n";
+  for (std::size_t i = 0; i < result.items.size(); ++i) {
+    const BatchItemResult& item = result.items[i];
+    out += "    {\"name\": ";
+    append_json_string(&out, item.name);
+    out += strprintf(", \"ok\": %s", item.ok ? "true" : "false");
+    if (item.ok) {
+      out += strprintf(
+          ", \"states\": %d, \"states_reduced\": %d, \"state_signals\": %d, "
+          "\"literals\": %d, \"transistors\": %d, \"constraints\": %zu",
+          item.states, item.states_reduced, item.state_signals_added,
+          item.literals, item.transistors, item.constraints);
+      out += ", \"stages\": [";
+      for (std::size_t s = 0; s < item.stages.size(); ++s) {
+        if (s) out += ", ";
+        out += "{\"name\": ";
+        append_json_string(&out, item.stages[s].name);
+        out += ", \"detail\": ";
+        append_json_string(&out, item.stages[s].detail);
+        out += "}";
+      }
+      out += "]";
+    } else {
+      out += ", \"diagnostic\": {\"kind\": ";
+      append_json_string(&out, item.diagnostic.kind);
+      out += ", \"message\": ";
+      append_json_string(&out, item.diagnostic.message);
+      out += "}";
+    }
+    if (include_timings)
+      out += ", \"wall_ms\": " + json_number(item.wall_ms);
+    out += i + 1 < result.items.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace rtcad

@@ -1,0 +1,95 @@
+// Parallel batch-flow engine: run the Figure 2 flow (`run_flow`) over a
+// corpus of specifications on a fixed-size thread pool.
+//
+// Design rules, in priority order:
+//
+//  1. Determinism. `BatchResult::items[i]` corresponds to `corpus[i]`
+//     regardless of thread count or scheduling; the canonical JSON rendering
+//     is byte-identical for 1 and N threads (wall-clock timings are opt-in
+//     and excluded from the canonical form).
+//  2. Failure isolation. A spec that is inconsistent, unimplementable or
+//     exceeds `FlowOptions::sg.max_states` produces a structured per-spec
+//     diagnostic; it never throws out of `run_batch` and never poisons the
+//     rest of the batch.
+//  3. Bounded memory. Items keep flow statistics and stage logs, not the
+//     synthesized netlists, so corpora can grow to thousands of specs.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/rtflow.hpp"
+
+namespace rtcad {
+
+/// Structured per-spec failure. `kind` is one of:
+///   "parse"    — the input file could not be parsed;
+///   "spec"     — the flow rejected the specification (inconsistent STG,
+///                state overflow, CSC unsolvable, not persistent, ...);
+///   "internal" — anything else escaping the flow (a bug; still contained).
+struct BatchDiagnostic {
+  std::string kind;
+  std::string message;
+};
+
+/// One unit of batch work: a named specification plus the flow options to
+/// run it under. `load_error` marks corpus entries that already failed at
+/// load time (e.g. an unparsable `.g` file); they flow through `run_batch`
+/// as failed items so file problems surface in the same report.
+struct BatchSpec {
+  std::string name;
+  Stg spec;
+  FlowOptions opts;
+  std::optional<BatchDiagnostic> load_error;
+};
+
+struct BatchItemResult {
+  std::string name;
+  bool ok = false;
+  BatchDiagnostic diagnostic;  ///< meaningful only when !ok
+  // FlowResult statistics (netlists are intentionally dropped).
+  int states = 0;
+  int states_reduced = 0;
+  int state_signals_added = 0;
+  int literals = 0;
+  int transistors = 0;
+  std::size_t constraints = 0;
+  std::vector<FlowStage> stages;
+  double wall_ms = 0;  ///< excluded from canonical JSON
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  int threads = 0;
+};
+
+struct BatchResult {
+  std::vector<BatchItemResult> items;  ///< corpus order, not finish order
+  int ok_count = 0;
+  int failed_count = 0;
+  double wall_ms = 0;  ///< whole-batch wall clock; excluded from JSON
+};
+
+/// Run the flow over every corpus entry. Never throws for per-spec reasons.
+BatchResult run_batch(const std::vector<BatchSpec>& corpus,
+                      const BatchOptions& opts = {});
+
+/// The built-in corpus: every `stg/builders` specification under the mode(s)
+/// it is meant for, plus handshake pipelines of 2..max_pipeline_stages
+/// stages. Names are "<spec>:<MODE>", e.g. "fifo_csc:RT", "pipeline4:SI".
+std::vector<BatchSpec> builtin_corpus(int max_pipeline_stages = 6);
+
+/// Parse `.g` files into batch specs running under `opts` (item name = file
+/// path). Files that fail to parse become entries with `load_error` set.
+std::vector<BatchSpec> load_corpus_files(const std::vector<std::string>& paths,
+                                         const FlowOptions& opts = {});
+
+/// Canonical JSON rendering (stable key order, no whitespace dependence on
+/// locale, '\n'-terminated). With `include_timings` the per-item and total
+/// wall-clock times are added — useful for humans, excluded by default so
+/// outputs diff clean across runs and thread counts.
+std::string to_json(const BatchResult& result, bool include_timings = false);
+
+}  // namespace rtcad

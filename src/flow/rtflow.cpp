@@ -1,5 +1,7 @@
 #include "flow/rtflow.hpp"
 
+#include <algorithm>
+
 #include "rt/reduce.hpp"
 #include "util/strings.hpp"
 
@@ -21,7 +23,13 @@ FlowResult run_flow(const Stg& input_spec, const FlowOptions& opts) {
                   result.spec.num_signals(), result.spec.num_transitions(),
                   result.spec.num_places()));
 
-  StateGraph sg = StateGraph::build(result.spec);
+  // The CSC solver rebuilds candidate graphs; it must respect the stricter
+  // of its own cap and the flow-wide one (both are safety bounds).
+  EncodeOptions encode_opts = opts.encode;
+  encode_opts.sg.max_states =
+      std::min(opts.encode.sg.max_states, opts.sg.max_states);
+
+  StateGraph sg = StateGraph::build(result.spec, opts.sg);
   result.states = sg.num_states();
   SgAnalysis analysis = analyze(sg);
   stage(&result, "reachability",
@@ -48,26 +56,26 @@ FlowResult run_flow(const Stg& input_spec, const FlowOptions& opts) {
                         sg.num_states(), red.sg.num_states()));
       }
       if (!reduced_analysis.has_csc()) {
-        const EncodeResult enc = solve_csc(result.spec, opts.encode);
+        const EncodeResult enc = solve_csc(result.spec, encode_opts);
         if (!enc.solved)
           throw SpecError(
               "CSC unsolvable: neither timing assumptions nor state-signal "
               "insertion resolve the conflicts");
         result.spec = enc.stg;
         result.state_signals_added = enc.signals_added;
-        sg = StateGraph::build(result.spec);
+        sg = StateGraph::build(result.spec, opts.sg);
         stage(&result, "state encoding",
               strprintf("inserted %d state signal(s); %d states",
                         enc.signals_added, sg.num_states()));
       }
     } else {
-      const EncodeResult enc = solve_csc(result.spec, opts.encode);
+      const EncodeResult enc = solve_csc(result.spec, encode_opts);
       if (!enc.solved)
         throw SpecError("CSC conflicts unsolvable by state-signal insertion "
                         "under speed-independent semantics");
       result.spec = enc.stg;
       result.state_signals_added = enc.signals_added;
-      sg = StateGraph::build(result.spec);
+      sg = StateGraph::build(result.spec, opts.sg);
       stage(&result, "state encoding",
             strprintf("inserted %d state signal(s); %d states",
                       enc.signals_added, sg.num_states()));

@@ -23,6 +23,12 @@ enum class FlowMode { kSpeedIndependent, kRelativeTiming };
 
 struct FlowOptions {
   FlowMode mode = FlowMode::kRelativeTiming;
+  /// Reachability limits for every state-graph build in the flow. The CSC
+  /// solver's candidate rebuilds run under the stricter of this cap and
+  /// `encode.sg.max_states`. A spec that blows past `sg.max_states` raises
+  /// SpecError instead of running away — batch drivers turn that into a
+  /// per-spec diagnostic.
+  SgOptions sg;
   EncodeOptions encode;
   SynthOptions si;
   RtSynthOptions rt;

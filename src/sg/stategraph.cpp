@@ -1,12 +1,65 @@
 #include "sg/stategraph.hpp"
 
 #include <deque>
+#include <utility>
 
 namespace rtcad {
 namespace {
 
-struct MarkingHash {
-  std::size_t operator()(const Marking& m) const { return marking_hash(m); }
+// Open-addressed, linear-probe visited table for the reachability hot path.
+// A state is the packed pair (marking, code); during exploration the code is
+// carried as a switching-parity word determined by the marking (two paths
+// reaching one marking with different parities is the consistency error, not
+// two distinct states), so the table keys on the marking and the per-state
+// parity array completes the packed key. Slots hold (hash, state id); the
+// markings themselves live once in the StateGraph's state vector, so probing
+// compares a cached 64-bit hash first and touches the marking bytes only on
+// a hash hit. This replaces the seed's std::unordered_map<Marking, int>,
+// whose node allocation per insert and pointer chase per probe dominated
+// build time on large specs.
+class VisitedTable {
+ public:
+  VisitedTable() { rehash(kInitialSlots); }
+
+  /// Look up `m` (with precomputed hash `h`); insert `id` if absent.
+  /// Returns {resident id, inserted}.
+  std::pair<int, bool> find_or_insert(const Marking& m, std::uint64_t h,
+                                      int id,
+                                      const std::vector<SgState>& states) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) rehash(slots_.size() * 2);
+    std::size_t i = static_cast<std::size_t>(h) & mask_;
+    while (slots_[i].id >= 0) {
+      if (slots_[i].hash == h && states[slots_[i].id].marking == m)
+        return {slots_[i].id, false};
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = Slot{h, id};
+    ++size_;
+    return {id, true};
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    int id = -1;
+  };
+  static constexpr std::size_t kInitialSlots = 1024;
+
+  void rehash(std::size_t n) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(n, Slot{});
+    mask_ = n - 1;
+    for (const Slot& s : old) {
+      if (s.id < 0) continue;
+      std::size_t i = static_cast<std::size_t>(s.hash) & mask_;
+      while (slots_[i].id >= 0) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
 };
 
 }  // namespace
@@ -19,24 +72,36 @@ StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
   // Phase 1: explore markings, assigning each a parity vector
   // (bit s = number of s-transitions fired along the discovery path, mod 2)
   // and collecting constraints on the initial values v0.
-  std::unordered_map<Marking, int, MarkingHash> index;
+  VisitedTable index;
   std::vector<std::uint64_t> parity;
   std::vector<signed char> v0(64, -1);  // -1 unknown, else 0/1
 
   const Marking m0 = stg.initial_marking();
-  index.emplace(m0, 0);
   sg.states_.push_back(SgState{m0, 0, {}});
   parity.push_back(0);
+  {
+    const auto seeded =
+        index.find_or_insert(m0, marking_hash(m0), 0, sg.states_);
+    RTCAD_ASSERT(seeded.second);
+  }
+
+  // Scratch buffers reused across the whole exploration: firing target,
+  // enabled-transition list and the current marking are the per-edge
+  // allocations this loop must not make.
+  Marking marking, next;
+  std::vector<int> enabled;
 
   std::deque<int> queue{0};
   while (!queue.empty()) {
     const int si = queue.front();
     queue.pop_front();
-    // Copy: states_ may reallocate while pushing successors.
-    const Marking marking = sg.states_[si].marking;
+    // Copy into scratch: states_ may reallocate while pushing successors.
+    marking = sg.states_[si].marking;
     const std::uint64_t par = parity[si];
 
-    for (int t : stg.enabled_transitions(marking)) {
+    stg.enabled_transitions(marking, &enabled);
+    sg.states_[si].succ.reserve(enabled.size());
+    for (int t : enabled) {
       std::uint64_t next_par = par;
       if (stg.transition(t).label.has_value()) {
         const Edge label = *stg.transition(t).label;
@@ -55,10 +120,11 @@ StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
         }
         next_par ^= std::uint64_t{1} << label.signal;
       }
-      const Marking next = stg.fire(marking, t);
+      stg.fire_into(marking, t, &next);
       const int candidate_id = static_cast<int>(sg.states_.size());
-      const auto insertion = index.emplace(next, candidate_id);
-      const int succ_id = insertion.first->second;
+      const auto insertion = index.find_or_insert(next, marking_hash(next),
+                                                  candidate_id, sg.states_);
+      const int succ_id = insertion.first;
       if (insertion.second) {
         if (sg.states_.size() >= opts.max_states)
           throw SpecError("state graph of '" + stg.name() + "' exceeds " +

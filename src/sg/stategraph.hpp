@@ -18,6 +18,10 @@
 namespace rtcad {
 
 struct SgOptions {
+  /// Reachability cap: build() raises SpecError when the graph would exceed
+  /// this many states. Batch drivers (flow/batchflow) rely on the error to
+  /// report runaway specs per item instead of aborting a whole corpus, so
+  /// the check must stay cheap and exact.
   std::size_t max_states = std::size_t{1} << 20;
 };
 
@@ -33,6 +37,9 @@ class StateGraph {
   /// Explore the full reachability graph. Throws SpecError on
   /// inconsistency, unboundedness, or state overflow. The StateGraph keeps
   /// its own copy of the specification (callers may pass temporaries).
+  /// The exploration loop is the flow's hot path: visited markings live in
+  /// an open-addressed table and firing reuses scratch buffers, so cost is
+  /// ~O(edges) with no per-edge heap allocation (see stategraph.cpp).
   static StateGraph build(const Stg& stg, const SgOptions& opts = {});
 
   const Stg& stg() const { return stg_; }

@@ -172,22 +172,32 @@ bool Stg::enabled(const Marking& m, int t) const {
 
 std::vector<int> Stg::enabled_transitions(const Marking& m) const {
   std::vector<int> out;
-  for (int t = 0; t < num_transitions(); ++t) {
-    if (enabled(m, t)) out.push_back(t);
-  }
+  enabled_transitions(m, &out);
   return out;
 }
 
-Marking Stg::fire(const Marking& m, int t) const {
-  RTCAD_EXPECTS(enabled(m, t));
-  Marking next = m;
-  for (int p : transitions_[t].pre) --next[p];
-  for (int p : transitions_[t].post) {
-    if (next[p] == 255)
-      throw SpecError("place '" + places_[p].name + "' exceeds token bound");
-    ++next[p];
+void Stg::enabled_transitions(const Marking& m, std::vector<int>* out) const {
+  out->clear();
+  for (int t = 0; t < num_transitions(); ++t) {
+    if (enabled(m, t)) out->push_back(t);
   }
+}
+
+Marking Stg::fire(const Marking& m, int t) const {
+  Marking next;
+  fire_into(m, t, &next);
   return next;
+}
+
+void Stg::fire_into(const Marking& m, int t, Marking* next) const {
+  RTCAD_EXPECTS(enabled(m, t));
+  *next = m;
+  for (int p : transitions_[t].pre) --(*next)[p];
+  for (int p : transitions_[t].post) {
+    if ((*next)[p] == 255)
+      throw SpecError("place '" + places_[p].name + "' exceeds token bound");
+    ++(*next)[p];
+  }
 }
 
 int Stg::count_edges(int signal, Polarity pol) const {

@@ -97,8 +97,14 @@ class Stg {
   Marking initial_marking() const;
   bool enabled(const Marking& m, int t) const;
   std::vector<int> enabled_transitions(const Marking& m) const;
+  /// Allocation-free variant for reachability hot paths: `*out` is cleared
+  /// and refilled, reusing its capacity across calls.
+  void enabled_transitions(const Marking& m, std::vector<int>* out) const;
   /// Fire transition `t` (must be enabled); returns successor marking.
   Marking fire(const Marking& m, int t) const;
+  /// Fire into a caller-owned scratch marking; no allocation once `*next`
+  /// has the right size.
+  void fire_into(const Marking& m, int t, Marking* next) const;
 
   // --- validation --------------------------------------------------------
   /// Structural sanity: every transition connected, every signal used edge-

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "flow/batchflow.hpp"
+#include "stg/builders.hpp"
+#include "stg/parse.hpp"
+
+namespace rtcad {
+namespace {
+
+TEST(BatchFlow, BuiltinCorpusRunsClean) {
+  const BatchResult r = run_batch(builtin_corpus());
+  EXPECT_EQ(r.failed_count, 0);
+  EXPECT_EQ(r.ok_count, static_cast<int>(r.items.size()));
+  EXPECT_GE(r.items.size(), 10u);
+}
+
+TEST(BatchFlow, ResultsAreByteIdenticalAcrossThreadCounts) {
+  const std::vector<BatchSpec> corpus = builtin_corpus();
+  std::string reference;
+  for (int threads : {1, 4, 8}) {
+    BatchOptions opts;
+    opts.threads = threads;
+    const std::string json = to_json(run_batch(corpus, opts));
+    if (reference.empty())
+      reference = json;
+    else
+      EXPECT_EQ(json, reference) << "threads=" << threads;
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(BatchFlow, ItemsStayInCorpusOrder) {
+  const std::vector<BatchSpec> corpus = builtin_corpus();
+  BatchOptions opts;
+  opts.threads = 8;
+  const BatchResult r = run_batch(corpus, opts);
+  ASSERT_EQ(r.items.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i)
+    EXPECT_EQ(r.items[i].name, corpus[i].name);
+}
+
+TEST(BatchFlow, StatsMatchDirectFlowRun) {
+  FlowOptions si;
+  si.mode = FlowMode::kSpeedIndependent;
+  const FlowResult direct = run_flow(celement_stg(), si);
+
+  std::vector<BatchSpec> corpus;
+  corpus.push_back(BatchSpec{"celement", celement_stg(), si, {}});
+  const BatchResult r = run_batch(corpus);
+  ASSERT_EQ(r.items.size(), 1u);
+  const BatchItemResult& item = r.items[0];
+  ASSERT_TRUE(item.ok) << item.diagnostic.message;
+  EXPECT_EQ(item.states, direct.states);
+  EXPECT_EQ(item.literals, direct.literals());
+  EXPECT_EQ(item.transistors, direct.netlist().transistor_count());
+  EXPECT_EQ(item.stages.size(), direct.stages.size());
+}
+
+TEST(BatchFlow, StateOverflowIsPerSpecDiagnostic) {
+  FlowOptions si;
+  si.mode = FlowMode::kSpeedIndependent;
+  FlowOptions capped = si;
+  capped.sg.max_states = 16;  // pipeline_stg(6) has 128 states
+
+  std::vector<BatchSpec> corpus;
+  corpus.push_back(BatchSpec{"too_big", pipeline_stg(6), capped, {}});
+  corpus.push_back(BatchSpec{"fits", celement_stg(), si, {}});
+
+  const BatchResult r = run_batch(corpus);
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_FALSE(r.items[0].ok);
+  EXPECT_EQ(r.items[0].diagnostic.kind, "spec");
+  EXPECT_NE(r.items[0].diagnostic.message.find("exceeds"), std::string::npos);
+  // The overflow must not poison the rest of the batch.
+  EXPECT_TRUE(r.items[1].ok) << r.items[1].diagnostic.message;
+  EXPECT_EQ(r.ok_count, 1);
+  EXPECT_EQ(r.failed_count, 1);
+}
+
+TEST(BatchFlow, FlowOptionsCapAppliesToEncodeRebuilds) {
+  // toggle (6 states) needs a state-signal insertion that grows the graph
+  // to 8 states; capping at 7 passes the initial reachability but must make
+  // the CSC solver's candidate rebuilds overflow, because they inherit
+  // FlowOptions::sg.
+  FlowOptions capped;
+  capped.mode = FlowMode::kSpeedIndependent;
+  capped.sg.max_states = 7;
+  std::vector<BatchSpec> corpus;
+  corpus.push_back(BatchSpec{"toggle", toggle_stg(), capped, {}});
+  const BatchResult r = run_batch(corpus);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_FALSE(r.items[0].ok);
+  EXPECT_EQ(r.items[0].diagnostic.kind, "spec");
+}
+
+TEST(BatchFlow, UnparsableFileBecomesParseDiagnostic) {
+  const std::string good_path = ::testing::TempDir() + "/batch_good.g";
+  const std::string bad_path = ::testing::TempDir() + "/batch_bad.g";
+  {
+    std::ofstream good(good_path);
+    good << ".model hs\n.inputs req\n.outputs ack\n.graph\n"
+            "req+ ack+\nack+ req-\nreq- ack-\nack- req+\n"
+            ".marking { <ack-,req+> }\n.end\n";
+    std::ofstream bad(bad_path);
+    bad << ".model broken\n.graph\nthis is not an stg\n";
+  }
+  FlowOptions si;
+  si.mode = FlowMode::kSpeedIndependent;
+  const std::vector<BatchSpec> corpus =
+      load_corpus_files({good_path, bad_path}, si);
+  ASSERT_EQ(corpus.size(), 2u);
+  EXPECT_FALSE(corpus[0].load_error.has_value());
+  ASSERT_TRUE(corpus[1].load_error.has_value());
+
+  const BatchResult r = run_batch(corpus);
+  EXPECT_TRUE(r.items[0].ok) << r.items[0].diagnostic.message;
+  EXPECT_FALSE(r.items[1].ok);
+  EXPECT_EQ(r.items[1].diagnostic.kind, "parse");
+}
+
+TEST(BatchFlow, JsonEscapesSpecialCharacters) {
+  BatchResult r;
+  BatchItemResult item;
+  item.name = "quote\"back\\slash\nnewline";
+  item.ok = false;
+  item.diagnostic = BatchDiagnostic{"spec", "tab\there"};
+  r.items.push_back(item);
+  r.failed_count = 1;
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnewline"), std::string::npos);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+}
+
+TEST(BatchFlow, TimingsAreOptInAndOffByDefault) {
+  std::vector<BatchSpec> corpus;
+  FlowOptions si;
+  si.mode = FlowMode::kSpeedIndependent;
+  corpus.push_back(BatchSpec{"celement", celement_stg(), si, {}});
+  const BatchResult r = run_batch(corpus);
+  EXPECT_EQ(to_json(r).find("wall_ms"), std::string::npos);
+  EXPECT_NE(to_json(r, true).find("wall_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtcad

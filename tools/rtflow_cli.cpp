@@ -1,0 +1,158 @@
+// rtflow_cli — drive the batch-flow engine from the command line and emit
+// JSON statistics the bench suite can diff.
+//
+//   rtflow_cli --corpus builtin --threads 8
+//   rtflow_cli --spec fifo.g --spec vme.g --mode si --max-states 100000
+//   rtflow_cli --corpus builtin --timings --out stats.json
+//
+// The default (timing-free) JSON is canonical: byte-identical across runs
+// and thread counts, so `diff` against a checked-in golden file is a valid
+// regression test.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "flow/batchflow.hpp"
+
+using namespace rtcad;
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: %s [options]\n"
+      "\n"
+      "corpus selection:\n"
+      "  --corpus builtin     run every built-in specification (default when\n"
+      "                       no --spec is given)\n"
+      "  --spec FILE.g        add a .g STG file (repeatable)\n"
+      "  --pipeline-stages N  largest built-in pipeline (default 6)\n"
+      "\n"
+      "flow options (apply to --spec files; built-ins choose their own mode):\n"
+      "  --mode si|rt         synthesis mode for file specs (default rt)\n"
+      "  --max-states N       per-spec reachability cap (default 2^20)\n"
+      "\n"
+      "execution / output:\n"
+      "  --threads N          worker threads (default: hardware concurrency)\n"
+      "  --timings            include wall-clock times in the JSON\n"
+      "  --out FILE           write JSON to FILE instead of stdout\n"
+      "  --list               print corpus names and exit\n"
+      "  --help               this text\n",
+      argv0);
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool use_builtin = false;
+  bool timings = false;
+  bool list_only = false;
+  int pipeline_stages = 6;
+  std::string out_path;
+  std::vector<std::string> spec_files;
+  FlowOptions file_opts;
+  BatchOptions batch_opts;
+
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s needs a value\n", argv[0], argv[i]);
+      std::exit(usage(argv[0], 2));
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      return usage(argv[0], 0);
+    } else if (!std::strcmp(arg, "--corpus")) {
+      const std::string kind = need_value(i);
+      if (kind != "builtin") {
+        std::fprintf(stderr, "%s: unknown corpus '%s'\n", argv[0],
+                     kind.c_str());
+        return 2;
+      }
+      use_builtin = true;
+    } else if (!std::strcmp(arg, "--spec")) {
+      spec_files.push_back(need_value(i));
+    } else if (!std::strcmp(arg, "--pipeline-stages")) {
+      pipeline_stages = std::atoi(need_value(i));
+      if (pipeline_stages < 1) {
+        std::fprintf(stderr, "%s: --pipeline-stages must be >= 1\n", argv[0]);
+        return 2;
+      }
+    } else if (!std::strcmp(arg, "--mode")) {
+      const std::string mode = need_value(i);
+      if (mode == "si") {
+        file_opts.mode = FlowMode::kSpeedIndependent;
+      } else if (mode == "rt") {
+        file_opts.mode = FlowMode::kRelativeTiming;
+      } else {
+        std::fprintf(stderr, "%s: unknown mode '%s'\n", argv[0], mode.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(arg, "--max-states")) {
+      const long n = std::atol(need_value(i));
+      if (n < 1) {
+        std::fprintf(stderr, "%s: --max-states must be >= 1\n", argv[0]);
+        return 2;
+      }
+      file_opts.sg.max_states = static_cast<std::size_t>(n);
+    } else if (!std::strcmp(arg, "--threads")) {
+      batch_opts.threads = std::atoi(need_value(i));
+      if (batch_opts.threads < 1) {
+        std::fprintf(stderr, "%s: --threads must be >= 1\n", argv[0]);
+        return 2;
+      }
+    } else if (!std::strcmp(arg, "--timings")) {
+      timings = true;
+    } else if (!std::strcmp(arg, "--out")) {
+      out_path = need_value(i);
+    } else if (!std::strcmp(arg, "--list")) {
+      list_only = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+      return usage(argv[0], 2);
+    }
+  }
+
+  std::vector<BatchSpec> corpus;
+  if (use_builtin || spec_files.empty()) {
+    corpus = builtin_corpus(pipeline_stages);
+    // Built-ins default their max-states cap to the user's request too.
+    for (auto& item : corpus) item.opts.sg = file_opts.sg;
+  }
+  for (auto& item : load_corpus_files(spec_files, file_opts))
+    corpus.push_back(std::move(item));
+
+  if (list_only) {
+    for (const auto& item : corpus) std::puts(item.name.c_str());
+    return 0;
+  }
+
+  const BatchResult result = run_batch(corpus, batch_opts);
+  const std::string json = to_json(result, timings);
+
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                   out_path.c_str());
+      return 1;
+    }
+    const bool write_ok = std::fputs(json.c_str(), f) >= 0;
+    const bool close_ok = std::fclose(f) == 0;
+    if (!write_ok || !close_ok) {
+      std::fprintf(stderr, "%s: failed to write '%s'\n", argv[0],
+                   out_path.c_str());
+      return 1;
+    }
+  }
+  return result.failed_count == 0 ? 0 : 1;
+}
