@@ -4,13 +4,17 @@
 // logic synthesis, back-annotation. A second section times state-graph
 // construction against a replica of the seed implementation (per-state
 // std::unordered_map lookups, per-edge marking/vector allocation) on the
-// largest built-in spec.
+// largest built-in spec, then times the whole CSR hot path —
+// build + verify (analysis) + reduce — and emits a machine-readable
+// `BENCH_JSON:` line so the perf trajectory can be diffed across PRs.
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <unordered_map>
 
 #include "flow/rtflow.hpp"
+#include "rt/generate.hpp"
+#include "rt/reduce.hpp"
 #include "sg/stategraph.hpp"
 #include "stg/builders.hpp"
 #include "util/strings.hpp"
@@ -145,6 +149,54 @@ int main() {
     }
     // Note: the new build also verifies consistency and assigns codes; the
     // replica does reachability only, so the comparison favors the seed.
+  }
+
+  // --- whole hot path on the largest built-in spec: build + verify + ------
+  // --- reduce, every phase an edge traversal over the CSR arrays ----------
+  {
+    const int stages = 14;
+    const Stg big = pipeline_stg(stages);
+    SgOptions unlimited;
+    unlimited.max_states = std::size_t{1} << 22;
+    GenerateOptions gen;
+    gen.outputs_beat_inputs = true;
+
+    StateGraph sg = StateGraph::build(big, unlimited);
+    const double build_ms =
+        best_of_ms(3, [&] { sg = StateGraph::build(big, unlimited); });
+    SgAnalysis verdict;
+    const double verify_ms = best_of_ms(3, [&] { verdict = analyze(sg); });
+    const auto assumptions = generate_assumptions(sg, gen);
+    int reduced_states = 0;
+    const double reduce_ms = best_of_ms(3, [&] {
+      reduced_states = reduce(sg, assumptions).sg.num_states();
+    });
+
+    const double total_ms = build_ms + verify_ms + reduce_ms;
+    const long long ns_per_edge =
+        static_cast<long long>(total_ms * 1e6 / sg.num_edges() + 0.5);
+    std::printf(
+        "\nfull hot path, pipeline_stg(%d): %d states, %d edges\n"
+        "  build:  %8.2f ms\n"
+        "  verify: %8.2f ms (%zu persistency, %zu CSC conflicts)\n"
+        "  reduce: %8.2f ms (-> %d states)\n"
+        "  total:  %8.2f ms, %lld ns/edge\n",
+        stages, sg.num_states(), sg.num_edges(), build_ms, verify_ms,
+        verdict.persistency.size(), verdict.csc_conflicts.size(), reduce_ms,
+        reduced_states, total_ms, ns_per_edge);
+    // One greppable line per run; integer microseconds are locale-proof.
+    std::printf(
+        "BENCH_JSON: {\"name\": \"pipeline%d\", \"states\": %d, "
+        "\"edges\": %d, \"build_us\": %lld, \"verify_us\": %lld, "
+        "\"reduce_us\": %lld, \"ns_per_edge\": %lld}\n",
+        stages, sg.num_states(), sg.num_edges(),
+        static_cast<long long>(build_ms * 1000 + 0.5),
+        static_cast<long long>(verify_ms * 1000 + 0.5),
+        static_cast<long long>(reduce_ms * 1000 + 0.5), ns_per_edge);
+    if (reduced_states <= 0 || reduced_states > sg.num_states()) {
+      std::printf("reduce produced an implausible state count\n");
+      all_ok = false;
+    }
   }
 
   std::printf("\nshape check: %s\n", all_ok ? "PASS" : "FAIL");

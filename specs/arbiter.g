@@ -1,0 +1,18 @@
+# Hand-written two-client arbiter in call-element form: the shared idle
+# place serializes the grants; which request fires is the environment's
+# free choice (legal input nondeterminism, no output choice).
+.model arbiter
+.inputs r1 r2
+.outputs g1 g2
+.graph
+idle r1+ r2+
+r1+ g1+
+g1+ r1-
+r1- g1-
+g1- idle
+r2+ g2+
+g2+ r2-
+r2- g2-
+g2- idle
+.marking { idle }
+.end

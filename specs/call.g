@@ -1,0 +1,15 @@
+.model call
+.inputs r1 r2
+.outputs a1 a2
+.graph
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- idle
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- idle
+idle r1+ r2+
+.marking { idle }
+.end

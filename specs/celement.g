@@ -1,0 +1,12 @@
+.model celement
+.inputs a b
+.outputs c
+.graph
+a+ c+
+a- c-
+b+ c+
+b- c-
+c+ a- b-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end

@@ -1,0 +1,16 @@
+.model fifo
+.inputs li ri
+.outputs lo ro
+.dummy eps
+.graph
+li+ lo+
+li- lo-
+lo+ li- eps/1
+lo- li+
+ro+ ri+ li+
+ro- ri-
+ri+ ro-
+ri- ro+
+eps/1 ro+
+.marking { <lo-,li+> <ri-,ro+> <ro+,li+> }
+.end

@@ -1,0 +1,21 @@
+# Hand-written two-slot FIFO controller: the left handshake fills a slot,
+# the right handshake drains one, and the `free` place (two initial tokens)
+# decouples them — the left side can run a full cycle ahead of the right.
+.model fifo_2slot
+.inputs li ri
+.outputs lo ro
+.graph
+li+ lo+
+lo+ li-
+li- lo-
+lo- li+
+free lo+
+lo+ full
+full ro+
+ro+ ri+
+ri+ ro-
+ro- ri-
+ri- ro+
+ri- free
+.marking { <lo-,li+> <ri-,ro+> free=2 }
+.end

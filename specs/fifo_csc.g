@@ -1,0 +1,17 @@
+.model fifo_csc
+.inputs li ri
+.outputs lo ro
+.internal x
+.graph
+li+ lo+
+li- lo-
+lo+ x-
+lo- li+ x+
+ro+ ri+ li+
+ro- ri- x+
+ri+ ro-
+ri- ro+ li+
+x+ ri- lo+
+x- li- ro+
+.marking { <lo-,li+> <ri-,ro+> <ro+,li+> <ri-,li+> <x+,lo+> }
+.end

@@ -1,0 +1,16 @@
+.model fifo_si
+.inputs li ri
+.outputs lo ro
+.dummy eps
+.graph
+li+ lo+
+li- lo-
+lo+ li- eps/1
+lo- li+ ro-
+ro+ ri+
+ro- ri- li+
+ri+ ro- lo-
+ri- ro+
+eps/1 ro+
+.marking { <lo-,li+> <ri-,ro+> <ro-,li+> }
+.end

@@ -1,0 +1,15 @@
+# Hand-written transparent-latch controller: a four-phase passive handshake
+# opens the latch (lt) while the datum is valid and acknowledges with a.
+# Fully sequential, so CSC holds and the SI/RT flows agree.
+.model latch_ctrl
+.inputs r
+.outputs lt a
+.graph
+r+ lt+
+lt+ a+
+a+ r-
+r- lt-
+lt- a-
+a- r+
+.marking { <a-,r+> }
+.end

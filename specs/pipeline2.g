@@ -1,0 +1,12 @@
+.model pipe2
+.inputs in
+.outputs c1 c2
+.graph
+in+ c1+
+in- c1-
+c1+ in- c2+
+c1- in+ c2-
+c2+ c1-
+c2- c1+
+.marking { <c1-,in+> <c2-,c1+> }
+.end

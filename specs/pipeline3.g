@@ -1,0 +1,14 @@
+.model pipe3
+.inputs in
+.outputs c1 c2 c3
+.graph
+in+ c1+
+in- c1-
+c1+ in- c2+
+c1- in+ c2-
+c2+ c1- c3+
+c2- c1+ c3-
+c3+ c2-
+c3- c2+
+.marking { <c1-,in+> <c2-,c1+> <c3-,c2+> }
+.end

@@ -1,0 +1,16 @@
+.model pipe4
+.inputs in
+.outputs c1 c2 c3 c4
+.graph
+in+ c1+
+in- c1-
+c1+ in- c2+
+c1- in+ c2-
+c2+ c1- c3+
+c2- c1+ c3-
+c3+ c2- c4+
+c3- c2+ c4-
+c4+ c3-
+c4- c3+
+.marking { <c1-,in+> <c2-,c1+> <c3-,c2+> <c4-,c3+> }
+.end

@@ -1,0 +1,12 @@
+.model toggle
+.inputs in
+.outputs out
+.graph
+in+/1 out+
+in-/1 in+/2
+in+/2 out-
+in-/2 in+/1
+out+ in-/1
+out- in-/2
+.marking { <in-/2,in+/1> }
+.end

@@ -1,0 +1,16 @@
+.model vme_read
+.inputs dsr ldtack
+.outputs lds d dtack
+.graph
+dsr+ lds+
+dsr- d-
+ldtack+ d+
+ldtack- lds+
+lds+ ldtack+
+lds- ldtack-
+d+ dtack+
+d- dtack- lds-
+dtack+ dsr-
+dtack- dsr+
+.marking { <ldtack-,lds+> <dtack-,dsr+> }
+.end

@@ -103,6 +103,7 @@ std::vector<BatchSpec> builtin_corpus(int max_pipeline_stages) {
                              const FlowOptions& opts) {
     corpus.push_back(BatchSpec{std::move(name), std::move(spec), opts, {}});
   };
+  add("fifo:RT", fifo_stg(), rt);
   add("fifo_csc:SI", fifo_csc_stg(), si);
   add("fifo_csc:RT", fifo_csc_stg(), rt);
   add("fifo_si:SI", fifo_si_stg(), si);

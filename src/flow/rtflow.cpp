@@ -41,19 +41,51 @@ FlowResult run_flow(const Stg& input_spec, const FlowOptions& opts) {
     throw SpecError("specification is not output-persistent: " +
                     describe(sg, analysis.persistency.front()));
 
+  RtSynthOptions rt_opts = opts.rt;
+  // Reduction already performed while checking CSC below; handed to
+  // synthesize_rt (together with the matching assumption set in
+  // rt_opts.assumptions_override) so the graph is never reduced twice.
+  std::optional<ReduceResult> reduction;
   if (!analysis.has_csc()) {
     if (opts.mode == FlowMode::kRelativeTiming) {
       // Conflicts may disappear once timing prunes the straggler states.
       std::vector<RtAssumption> assumptions = opts.rt.user_assumptions;
       for (auto& a : generate_assumptions(sg, opts.rt.generate))
         assumptions.push_back(a);
-      const ReduceResult red = reduce(sg, assumptions);
-      const SgAnalysis reduced_analysis = analyze(red.sg);
+      ReduceResult red = reduce(sg, assumptions);
+      SgAnalysis reduced_analysis = analyze(red.sg);
       if (reduced_analysis.has_csc()) {
         stage(&result, "state encoding",
               strprintf("CSC holds on the reduced graph (%d -> %d states); "
                         "no state signal needed",
                         sg.num_states(), red.sg.num_states()));
+        rt_opts.assumptions_override = std::move(assumptions);
+        reduction = std::move(red);
+      }
+      if (!reduced_analysis.has_csc() && !opts.rt.generate.ring_environment) {
+        // Escalate the delay model before paying for a state signal: the
+        // ring-environment rules (cycle-start, head-start) target exactly
+        // the straggler states that keep codes ambiguous on decoupled
+        // specs like the paper's FIFO. Adopted only if the escalated
+        // reduction restores CSC without deadlock or persistency loss.
+        GenerateOptions escalated = opts.rt.generate;
+        escalated.ring_environment = true;
+        std::vector<RtAssumption> strong = opts.rt.user_assumptions;
+        for (auto& a : generate_assumptions(sg, escalated))
+          strong.push_back(a);
+        ReduceResult red2 = reduce(sg, strong);
+        const SgAnalysis escalated_analysis = analyze(red2.sg);
+        if (red2.deadlocked_states == 0 && escalated_analysis.has_csc() &&
+            escalated_analysis.speed_independent()) {
+          rt_opts.generate = escalated;
+          rt_opts.assumptions_override = std::move(strong);
+          reduced_analysis = escalated_analysis;
+          stage(&result, "state encoding",
+                strprintf("CSC holds after ring-environment escalation "
+                          "(%d -> %d states); no state signal needed",
+                          sg.num_states(), red2.sg.num_states()));
+          reduction = std::move(red2);
+        }
       }
       if (!reduced_analysis.has_csc()) {
         const EncodeResult enc = solve_csc(result.spec, encode_opts);
@@ -91,7 +123,8 @@ FlowResult run_flow(const Stg& input_spec, const FlowOptions& opts) {
     return result;
   }
 
-  result.rt = synthesize_rt(sg, opts.rt);
+  result.rt =
+      synthesize_rt(sg, rt_opts, reduction ? &*reduction : nullptr);
   result.states_reduced = result.rt->states_after;
   stage(&result, "assumption generation",
         strprintf("%zu assumptions (%zu user)", result.rt->assumptions.size(),

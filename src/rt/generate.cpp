@@ -1,6 +1,10 @@
 #include "rt/generate.hpp"
 
+#include <algorithm>
 #include <set>
+#include <vector>
+
+#include "rt/reduce.hpp"
 
 namespace rtcad {
 namespace {
@@ -15,6 +19,55 @@ int delay_class(const Stg& stg, int signal) {
   return 2;
 }
 
+int edge_key(const Edge& e) {
+  return e.signal * 2 + (e.pol == Polarity::kRise ? 0 : 1);
+}
+
+/// Age is "pending forever" for states inside a cycle that never enters or
+/// leaves the pending region; such a response is maximally overdue.
+constexpr int kAgeSaturated = 1 << 20;
+
+/// Pending age of edge `e` at every state of `red`: the number of fired
+/// transitions since `e` became excited, where excitation is judged on the
+/// ORIGINAL graph (via old_state_of) — reduction suppresses edges, but the
+/// marking keeps the response pending, and it is the pending time that the
+/// head-start rule reasons about. Region entries (predecessor not pending,
+/// or the initial state) have age 1; a multi-source BFS inside the pending
+/// region assigns the shortest distance from any entry. Walks the reverse
+/// CSR for entry detection and the forward CSR for propagation.
+std::vector<int> pending_ages(const StateGraph& red, const StateGraph& orig,
+                              const Edge& e) {
+  const int n = red.num_states();
+  const auto pending = [&](int s) {
+    return orig.excited(red.old_state_of(s), e);
+  };
+  std::vector<int> age(n, 0);
+  std::vector<int> queue;
+  for (int s = 0; s < n; ++s) {
+    if (!pending(s)) continue;
+    bool entry = (s == 0);
+    for (const auto& [t, from] : red.in_edges(s)) {
+      if (!pending(from)) entry = true;
+    }
+    if (entry) {
+      age[s] = 1;
+      queue.push_back(s);
+    }
+  }
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const int s = queue[qi];
+    for (const auto& [t, to] : red.out_edges(s)) {
+      if (!pending(to) || age[to] > 0) continue;
+      age[to] = age[s] + 1;
+      queue.push_back(to);
+    }
+  }
+  for (int s = 0; s < n; ++s) {
+    if (pending(s) && age[s] == 0) age[s] = kAgeSaturated;
+  }
+  return age;
+}
+
 }  // namespace
 
 std::vector<RtAssumption> generate_assumptions(const StateGraph& sg,
@@ -23,10 +76,21 @@ std::vector<RtAssumption> generate_assumptions(const StateGraph& sg,
   std::set<std::pair<int, int>> emitted;  // (edge key before, after)
   std::vector<RtAssumption> out;
 
-  auto edge_key = [](const Edge& e) {
-    return e.signal * 2 + (e.pol == Polarity::kRise ? 0 : 1);
+  const auto emit = [&](const Edge& before, const Edge& after,
+                        const std::string& rationale) {
+    if (emitted.count({edge_key(after), edge_key(before)})) return false;
+    if (!emitted.insert({edge_key(before), edge_key(after)}).second)
+      return false;
+    RtAssumption a;
+    a.before = before;
+    a.after = after;
+    a.origin = RtOrigin::kAutomatic;
+    a.rationale = rationale;
+    out.push_back(a);
+    return true;
   };
 
+  // --- rule 1: delay classes on racing pairs -----------------------------
   for (int s = 0; s < sg.num_states(); ++s) {
     // Collect excited edges at this state.
     std::vector<Edge> excited;
@@ -41,23 +105,138 @@ std::vector<RtAssumption> generate_assumptions(const StateGraph& sg,
         if (fast.signal == slow.signal) continue;
         const int gap = delay_class(stg, slow.signal) -
                         delay_class(stg, fast.signal);
-        const int required =
-            opts.outputs_beat_inputs ? 1 : opts.margin_classes;
+        const int required = opts.outputs_beat_inputs || opts.ring_environment
+                                 ? 1
+                                 : opts.margin_classes;
         if (gap < required) continue;
-        const auto key = std::make_pair(edge_key(fast), edge_key(slow));
-        if (!emitted.insert(key).second) continue;
-        RtAssumption a;
-        a.before = fast;
-        a.after = slow;
-        a.origin = RtOrigin::kAutomatic;
-        a.rationale =
-            std::string(to_string(stg.signal(fast.signal).kind)) +
-            " gate beats " + to_string(stg.signal(slow.signal).kind) +
-            " response";
-        out.push_back(a);
+        emit(fast, slow,
+             std::string(to_string(stg.signal(fast.signal).kind)) +
+                 " gate beats " + to_string(stg.signal(slow.signal).kind) +
+                 " response");
       }
     }
   }
+  if (!opts.ring_environment) return out;
+
+  // --- rule 2: cycle-start inputs are the slowest events -----------------
+  // An input enabled in the home marking begins a new cycle through the
+  // environment; every other pending edge belongs to a cycle already in
+  // flight and wins the race.
+  std::vector<Edge> all_edges;
+  for (int sig = 0; sig < stg.num_signals(); ++sig) {
+    for (Polarity pol : {Polarity::kRise, Polarity::kFall})
+      all_edges.push_back(Edge{sig, pol});
+  }
+  const auto cycle_start = [&](const Edge& e) {
+    return stg.is_input(e.signal) && sg.excited(0, e);
+  };
+  // Co-excitation is collected in one sweep over the states (edges excited
+  // per state are few), not one whole-graph scan per edge pair.
+  const auto excited_at = [](const StateGraph& g, int s,
+                             const std::vector<Edge>& edges,
+                             std::vector<int>* scratch) {
+    scratch->clear();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (g.excited(s, edges[i])) scratch->push_back(static_cast<int>(i));
+    }
+  };
+  std::vector<char> races(all_edges.size() * all_edges.size(), 0);
+  {
+    std::vector<int> live;
+    for (int s = 0; s < sg.num_states(); ++s) {
+      excited_at(sg, s, all_edges, &live);
+      for (int i : live) {
+        for (int j : live) races[i * all_edges.size() + j] = 1;
+      }
+    }
+  }
+  std::size_t stable = out.size();  // prefix known deadlock-free
+  for (std::size_t bi = 0; bi < all_edges.size(); ++bi) {
+    const Edge& slow = all_edges[bi];
+    if (!cycle_start(slow)) continue;
+    for (std::size_t ai = 0; ai < all_edges.size(); ++ai) {
+      const Edge& fast = all_edges[ai];
+      if (fast.signal == slow.signal || cycle_start(fast)) continue;
+      if (!races[ai * all_edges.size() + bi]) continue;
+      emit(fast, slow, "pending response beats new-cycle input " +
+                           stg.edge_text(slow));
+    }
+  }
+
+  // --- rule 3: head start among environment responses, to a fixpoint ----
+  // Reduce by what is assumed so far, measure how long each input response
+  // has been pending, and order racing responses whose pending ages differ
+  // by the margin. New orderings prune more interleavings, which can expose
+  // further unambiguous head starts — iterate until nothing is added. A
+  // round that deadlocks the reduced graph is rolled back wholesale.
+  std::vector<Edge> input_edges;
+  for (const Edge& e : all_edges) {
+    if (stg.is_input(e.signal)) input_edges.push_back(e);
+  }
+  // One validation per refinement step, plus a final one after the loop:
+  // every extension (including the cycle-start batch and a last round cut
+  // off by the round cap) is reduced and rolled back on deadlock before
+  // anything is returned. The rollback target must itself be validated:
+  // the initial prefix (rule 1 at the forced margin-1 setting) never was,
+  // and if it also strands a state the only safe answer is the empty set
+  // (reduce with no assumptions drops nothing beyond eager ε, which keeps
+  // at least one edge per non-terminal state).
+  bool stable_validated = false;
+  const auto rolled_back = [&] {
+    out.resize(stable);
+    if (!stable_validated && !out.empty() &&
+        reduce(sg, out).deadlocked_states > 0)
+      out.clear();
+    return out;
+  };
+  for (int round = 0; round < opts.max_refinement_rounds; ++round) {
+    const ReduceResult red = reduce(sg, out);
+    if (red.deadlocked_states > 0) return rolled_back();
+    stable = out.size();
+    stable_validated = true;
+
+    std::vector<std::vector<int>> ages(input_edges.size());
+    for (std::size_t i = 0; i < input_edges.size(); ++i)
+      ages[i] = pending_ages(red.sg, sg, input_edges[i]);
+
+    // Minimum pending-age advantage per racing pair, again in one sweep.
+    const std::size_t n_in = input_edges.size();
+    std::vector<int> advantage(n_in * n_in, kAgeSaturated);
+    std::vector<char> race(n_in * n_in, 0);
+    {
+      std::vector<int> live;
+      for (int s = 0; s < red.sg.num_states(); ++s) {
+        excited_at(red.sg, s, input_edges, &live);
+        for (int i : live) {
+          for (int j : live) {
+            race[i * n_in + j] = 1;
+            advantage[i * n_in + j] = std::min(advantage[i * n_in + j],
+                                               ages[i][s] - ages[j][s]);
+          }
+        }
+      }
+    }
+
+    bool added = false;
+    for (std::size_t i = 0; i < n_in; ++i) {
+      for (std::size_t j = 0; j < n_in; ++j) {
+        const Edge& a = input_edges[i];
+        const Edge& b = input_edges[j];
+        if (a.signal == b.signal) continue;
+        if (!race[i * n_in + j] ||
+            advantage[i * n_in + j] < opts.headstart_margin)
+          continue;
+        if (emit(a, b, "response to " + stg.edge_text(a) +
+                           "'s trigger pending " +
+                           std::to_string(advantage[i * n_in + j]) +
+                           " events longer"))
+          added = true;
+      }
+    }
+    if (!added) break;
+  }
+  if (out.size() > stable && reduce(sg, out).deadlocked_states > 0)
+    return rolled_back();
   return out;
 }
 

@@ -32,6 +32,30 @@ struct GenerateOptions {
   /// of the same class when the latter needs k more causal steps. Not used
   /// at margin 2.
   bool outputs_beat_inputs = false;
+  /// Model the environment as a ring of handshake stages (the paper's FIFO
+  /// setting) and iterate generation against reduction. Two extra rules:
+  ///
+  ///  (a) cycle-start — an input transition enabled in the home (initial)
+  ///      marking begins a NEW cycle through the slow environment, so any
+  ///      other racing edge beats it;
+  ///  (b) head-start — between two racing environment responses (both
+  ///      inputs), the one whose trigger fired at least `headstart_margin`
+  ///      events earlier wins.
+  ///
+  /// Head starts are measured on the graph reduced by the assumptions
+  /// accumulated so far (straggler interleavings already ruled out must
+  /// not mask a head start), so the rules run to a fixpoint, re-reducing
+  /// between rounds. Every round is validated: a round whose assumptions
+  /// deadlock the reduced graph is rolled back, so the returned set never
+  /// strands a state. This is what prunes the decoupled FIFO's straggler
+  /// states without a CSC state signal. Implies margin 1 (outputs beat
+  /// inputs) for the delay-class rule.
+  bool ring_environment = false;
+  /// Minimum pending-event head start before rule (b) fires.
+  int headstart_margin = 2;
+  /// Cap on generate/reduce refinement rounds (each round must add at
+  /// least one assumption to continue, so this rarely binds).
+  int max_refinement_rounds = 6;
 };
 
 /// Scan the state graph for racing edge pairs and emit ordering

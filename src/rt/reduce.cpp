@@ -13,7 +13,9 @@ ReduceResult reduce(const StateGraph& sg,
     if (!label) return true;  // silent transitions always kept...
     // ...and always win races: under RT semantics an ε models a zero-delay
     // internal event, so observable transitions wait for pending ε's.
-    for (const auto& [t, to] : sg.state(state).succ) {
+    // (Scanned per call, not precomputed: filtered() only consults states
+    // that stay reachable, which heavy reductions shrink to a handful.)
+    for (const auto& [t, to] : sg.out_edges(state)) {
       if (stg.transition(t).is_silent()) return false;
     }
     for (std::size_t i = 0; i < assumptions.size(); ++i) {
@@ -36,7 +38,7 @@ ReduceResult reduce(const StateGraph& sg,
   }
   for (int s = 0; s < out.sg.num_states(); ++s) {
     const int old_s = out.sg.old_state_of(s);
-    if (out.sg.state(s).succ.empty() && !sg.state(old_s).succ.empty())
+    if (out.sg.out_degree(s) == 0 && sg.out_degree(old_s) != 0)
       ++out.deadlocked_states;
   }
   return out;

@@ -11,12 +11,11 @@ SgAnalysis analyze(const StateGraph& sg, std::size_t max_reported) {
 
   // --- output persistency --------------------------------------------
   for (int s = 0; s < sg.num_states(); ++s) {
-    const auto& st = sg.state(s);
-    for (const auto& [t, to] : st.succ) {
+    for (const auto& [t, to] : sg.out_edges(s)) {
       const auto& label = stg.transition(t).label;
       if (!label) continue;
       if (stg.is_input(label->signal)) continue;  // inputs may be disabled
-      for (const auto& [t2, to2] : st.succ) {
+      for (const auto& [t2, to2] : sg.out_edges(s)) {
         if (t2 == t) continue;
         const auto& label2 = stg.transition(t2).label;
         if (label2 && label2->signal == label->signal) continue;

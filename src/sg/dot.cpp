@@ -41,7 +41,7 @@ std::string sg_to_dot(const StateGraph& sg) {
                      s == 0 ? ",style=filled,fillcolor=lightgrey" : "");
   }
   for (int s = 0; s < sg.num_states(); ++s) {
-    for (const auto& [t, to] : sg.state(s).succ) {
+    for (const auto& [t, to] : sg.out_edges(s)) {
       out += strprintf("  s%d -> s%d [label=\"%s\"];\n", s, to,
                        stg.transition_name(t).c_str());
     }

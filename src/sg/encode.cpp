@@ -33,10 +33,9 @@ struct Candidate {
 int serialization_score(const StateGraph& sg, int sig) {
   int score = 0;
   for (int s = 0; s < sg.num_states(); ++s) {
-    const auto& st = sg.state(s);
-    if (st.succ.empty()) continue;
+    if (sg.out_degree(s) == 0) continue;
     bool all_new = true;
-    for (const auto& [t, to] : st.succ) {
+    for (const auto& [t, to] : sg.out_edges(s)) {
       const auto& label = sg.stg().transition(t).label;
       if (!label || label->signal != sig) {
         all_new = false;

@@ -1,6 +1,5 @@
 #include "sg/stategraph.hpp"
 
-#include <deque>
 #include <utility>
 
 namespace rtcad {
@@ -71,13 +70,16 @@ StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
 
   // Phase 1: explore markings, assigning each a parity vector
   // (bit s = number of s-transitions fired along the discovery path, mod 2)
-  // and collecting constraints on the initial values v0.
+  // and collecting constraints on the initial values v0. State ids are
+  // assigned in BFS discovery order and the frontier is consumed in id
+  // order, so the out-edges of each state are emitted consecutively — the
+  // flat CSR arrays fill in their final order with no sorting pass.
   VisitedTable index;
   std::vector<std::uint64_t> parity;
   std::vector<signed char> v0(64, -1);  // -1 unknown, else 0/1
 
   const Marking m0 = stg.initial_marking();
-  sg.states_.push_back(SgState{m0, 0, {}});
+  sg.states_.push_back(SgState{m0, 0});
   parity.push_back(0);
   {
     const auto seeded =
@@ -91,16 +93,13 @@ StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
   Marking marking, next;
   std::vector<int> enabled;
 
-  std::deque<int> queue{0};
-  while (!queue.empty()) {
-    const int si = queue.front();
-    queue.pop_front();
+  for (int si = 0; si < static_cast<int>(sg.states_.size()); ++si) {
+    sg.out_row_.push_back(static_cast<int>(sg.edge_transition_.size()));
     // Copy into scratch: states_ may reallocate while pushing successors.
     marking = sg.states_[si].marking;
     const std::uint64_t par = parity[si];
 
     stg.enabled_transitions(marking, &enabled);
-    sg.states_[si].succ.reserve(enabled.size());
     for (int t : enabled) {
       std::uint64_t next_par = par;
       if (stg.transition(t).label.has_value()) {
@@ -129,18 +128,18 @@ StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
         if (sg.states_.size() >= opts.max_states)
           throw SpecError("state graph of '" + stg.name() + "' exceeds " +
                           std::to_string(opts.max_states) + " states");
-        sg.states_.push_back(SgState{next, 0, {}});
+        sg.states_.push_back(SgState{next, 0});
         parity.push_back(next_par);
-        queue.push_back(succ_id);
       } else if (parity[succ_id] != next_par) {
         throw SpecError("STG '" + stg.name() +
                         "' is inconsistent: switching parity differs "
                         "between paths to the same marking");
       }
-      sg.states_[si].succ.emplace_back(t, succ_id);
-      ++sg.num_edges_;
+      sg.edge_transition_.push_back(t);
+      sg.edge_successor_.push_back(succ_id);
     }
   }
+  sg.out_row_.push_back(static_cast<int>(sg.edge_transition_.size()));
 
   // Signals with an explicitly declared initial value win over inference
   // only when inference produced no constraint.
@@ -154,18 +153,40 @@ StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
   for (std::size_t i = 0; i < sg.states_.size(); ++i)
     sg.states_[i].code = v0_value ^ parity[i];
 
+  sg.build_reverse_csr();
   sg.compute_excitation();
   return sg;
+}
+
+void StateGraph::build_reverse_csr() {
+  const int n = num_states();
+  const int m = num_edges();
+  // Transpose by counting sort: one pass to count in-degrees, a prefix sum,
+  // one pass to scatter. Entries for a given target state keep CSR order of
+  // their sources, so the transpose is deterministic.
+  in_row_.assign(n + 1, 0);
+  for (int e = 0; e < m; ++e) ++in_row_[edge_successor_[e] + 1];
+  for (int s = 0; s < n; ++s) in_row_[s + 1] += in_row_[s];
+  in_transition_.resize(m);
+  in_source_.resize(m);
+  std::vector<int> cursor(in_row_.begin(), in_row_.end() - 1);
+  for (int s = 0; s < n; ++s) {
+    for (int e = out_row_[s]; e < out_row_[s + 1]; ++e) {
+      const int slot = cursor[edge_successor_[e]]++;
+      in_transition_[slot] = edge_transition_[e];
+      in_source_[slot] = s;
+    }
+  }
 }
 
 void StateGraph::compute_excitation() {
   const int n = num_states();
   excited_rise_.assign(n, 0);
   excited_fall_.assign(n, 0);
-  // Direct enablement.
+  // Direct enablement: one linear sweep over the flat edge array.
   for (int s = 0; s < n; ++s) {
-    for (const auto& [t, to] : states_[s].succ) {
-      if (const auto& label = stg_.transition(t).label) {
+    for (int e = out_row_[s]; e < out_row_[s + 1]; ++e) {
+      if (const auto& label = stg_.transition(edge_transition_[e]).label) {
         const std::uint64_t bit = std::uint64_t{1} << label->signal;
         if (label->pol == Polarity::kRise)
           excited_rise_[s] |= bit;
@@ -175,19 +196,28 @@ void StateGraph::compute_excitation() {
     }
   }
   // Close backwards over silent edges: if σ --ε--> σ' and σ' excites e,
-  // then σ already excites e (the circuit cannot observe ε).
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (int s = 0; s < n; ++s) {
-      for (const auto& [t, to] : states_[s].succ) {
-        if (!stg_.transition(t).is_silent()) continue;
-        const std::uint64_t nr = excited_rise_[s] | excited_rise_[to];
-        const std::uint64_t nf = excited_fall_[s] | excited_fall_[to];
-        if (nr != excited_rise_[s] || nf != excited_fall_[s]) {
-          excited_rise_[s] = nr;
-          excited_fall_[s] = nf;
-          changed = true;
+  // then σ already excites e (the circuit cannot observe ε). Worklist over
+  // the reverse CSR: when a state's masks grow, only its silent
+  // predecessors can be affected — no repeated whole-graph sweeps.
+  std::vector<int> worklist;
+  std::vector<char> queued(n, 1);
+  worklist.reserve(n);
+  for (int s = n - 1; s >= 0; --s) worklist.push_back(s);
+  while (!worklist.empty()) {
+    const int s = worklist.back();
+    worklist.pop_back();
+    queued[s] = 0;
+    for (int e = in_row_[s]; e < in_row_[s + 1]; ++e) {
+      if (!stg_.transition(in_transition_[e]).is_silent()) continue;
+      const int p = in_source_[e];
+      const std::uint64_t nr = excited_rise_[p] | excited_rise_[s];
+      const std::uint64_t nf = excited_fall_[p] | excited_fall_[s];
+      if (nr != excited_rise_[p] || nf != excited_fall_[p]) {
+        excited_rise_[p] = nr;
+        excited_fall_[p] = nf;
+        if (!queued[p]) {
+          queued[p] = 1;
+          worklist.push_back(p);
         }
       }
     }
@@ -199,35 +229,46 @@ StateGraph StateGraph::filtered(
   StateGraph out;
   out.stg_ = stg_;
 
+  // Single counting pass: BFS from the initial state over the kept edges,
+  // assigning new ids in discovery order. The frontier is consumed in
+  // new-id order, so the surviving edges append to the output CSR already
+  // grouped by source row — this walks int arrays only (no marking
+  // re-exploration, no hashing) and calls `keep_edge` exactly once per
+  // edge of a surviving state. Successors are recorded as old ids and
+  // remapped in one sweep once every new id is known.
   std::vector<int> new_id(states_.size(), -1);
-  std::deque<int> queue;
+  std::vector<int> order;  // new id -> old id, in BFS discovery order
+  order.push_back(0);
   new_id[0] = 0;
-  out.states_.push_back(SgState{states_[0].marking, states_[0].code, {}});
-  out.old_state_.push_back(old_state_of(0));
-  queue.push_back(0);
-
-  while (!queue.empty()) {
-    const int old_s = queue.front();
-    queue.pop_front();
-    for (const auto& [t, to] : states_[old_s].succ) {
-      if (!keep_edge(old_s, t)) continue;
+  out.out_row_.push_back(0);
+  for (std::size_t qi = 0; qi < order.size(); ++qi) {
+    const int old_s = order[qi];
+    for (int e = out_row_[old_s]; e < out_row_[old_s + 1]; ++e) {
+      if (!keep_edge(old_s, edge_transition_[e])) continue;
+      const int to = edge_successor_[e];
       if (new_id[to] < 0) {
-        new_id[to] = static_cast<int>(out.states_.size());
-        out.states_.push_back(SgState{states_[to].marking, states_[to].code,
-                                      {}});
-        out.old_state_.push_back(old_state_of(to));
-        queue.push_back(to);
+        new_id[to] = static_cast<int>(order.size());
+        order.push_back(to);
       }
-      out.states_[new_id[old_s]].succ.emplace_back(t, new_id[to]);
-      ++out.num_edges_;
+      out.edge_transition_.push_back(edge_transition_[e]);
+      out.edge_successor_.push_back(to);
     }
+    out.out_row_.push_back(static_cast<int>(out.edge_transition_.size()));
   }
+  for (int& to : out.edge_successor_) to = new_id[to];
+  out.states_.reserve(order.size());
+  out.old_state_.reserve(order.size());
+  for (const int old_s : order) {
+    out.states_.push_back(states_[old_s]);
+    out.old_state_.push_back(old_state_of(old_s));
+  }
+  out.build_reverse_csr();
   out.compute_excitation();
   return out;
 }
 
 bool StateGraph::edge_enabled(int state, const Edge& e) const {
-  for (const auto& [t, to] : states_[state].succ) {
+  for (const auto& [t, to] : out_edges(state)) {
     const auto& label = stg_.transition(t).label;
     if (label && *label == e) return true;
   }
@@ -235,7 +276,7 @@ bool StateGraph::edge_enabled(int state, const Edge& e) const {
 }
 
 int StateGraph::successor(int state, const Edge& e) const {
-  for (const auto& [t, to] : states_[state].succ) {
+  for (const auto& [t, to] : out_edges(state)) {
     const auto& label = stg_.transition(t).label;
     if (label && *label == e) return to;
   }
@@ -243,7 +284,7 @@ int StateGraph::successor(int state, const Edge& e) const {
 }
 
 int StateGraph::successor_by_transition(int state, int transition) const {
-  for (const auto& [t, to] : states_[state].succ) {
+  for (const auto& [t, to] : out_edges(state)) {
     if (t == transition) return to;
   }
   return -1;

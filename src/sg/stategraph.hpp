@@ -6,11 +6,19 @@
 // value of signal s is v0(s) XOR (number of s-transitions fired mod 2).
 // Consistency (every s+ fires with s=0, s- with s=1, no path disagreement)
 // is checked during construction.
+//
+// Adjacency lives in shared CSR (compressed sparse row) arrays, not in the
+// states: `out_row_[s] .. out_row_[s+1]` indexes the flat
+// `edge_transition_[]` / `edge_successor_[]` pair for the out-edges of
+// state s, and a derived transpose (`in_row_` / `in_transition_` /
+// `in_source_`) gives predecessors. Every downstream pass — excitation
+// closure, RT concurrency reduction, conformance, synthesis — is an edge
+// traversal, so the flat layout removes the per-state vector allocation
+// and pointer chase the seed representation paid on each of them.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "stg/stg.hpp"
@@ -28,18 +36,57 @@ struct SgOptions {
 struct SgState {
   Marking marking;
   std::uint64_t code = 0;  ///< bit s = value of signal s
-  /// Outgoing edges as (transition id, successor state id).
-  std::vector<std::pair<int, int>> succ;
+};
+
+/// One adjacency entry: the transition labelling the edge plus the state on
+/// its far end — the successor for `out_edges`, the predecessor for
+/// `in_edges`.
+struct SgEdge {
+  int transition;
+  int state;
 };
 
 class StateGraph {
  public:
+  /// Random-access range over a CSR slice, yielding SgEdge by value.
+  class EdgeRange {
+   public:
+    class iterator {
+     public:
+      iterator(const int* t, const int* s) : t_(t), s_(s) {}
+      SgEdge operator*() const { return SgEdge{*t_, *s_}; }
+      iterator& operator++() {
+        ++t_;
+        ++s_;
+        return *this;
+      }
+      bool operator!=(const iterator& o) const { return t_ != o.t_; }
+      bool operator==(const iterator& o) const { return t_ == o.t_; }
+
+     private:
+      const int* t_;
+      const int* s_;
+    };
+    EdgeRange(const int* t, const int* s, int n) : t_(t), s_(s), n_(n) {}
+    iterator begin() const { return iterator(t_, s_); }
+    iterator end() const { return iterator(t_ + n_, s_ + n_); }
+    int size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+    SgEdge operator[](int i) const { return SgEdge{t_[i], s_[i]}; }
+
+   private:
+    const int* t_;
+    const int* s_;
+    int n_;
+  };
+
   /// Explore the full reachability graph. Throws SpecError on
   /// inconsistency, unboundedness, or state overflow. The StateGraph keeps
   /// its own copy of the specification (callers may pass temporaries).
   /// The exploration loop is the flow's hot path: visited markings live in
-  /// an open-addressed table and firing reuses scratch buffers, so cost is
-  /// ~O(edges) with no per-edge heap allocation (see stategraph.cpp).
+  /// an open-addressed table, firing reuses scratch buffers, and the BFS
+  /// emits edges in CSR order directly, so cost is ~O(edges) with no
+  /// per-edge heap allocation (see stategraph.cpp).
   static StateGraph build(const Stg& stg, const SgOptions& opts = {});
 
   const Stg& stg() const { return stg_; }
@@ -53,7 +100,36 @@ class StateGraph {
   /// Initial value of every signal, as inferred (bit per signal).
   std::uint64_t initial_code() const { return states_[0].code; }
 
-  int num_edges() const { return num_edges_; }
+  int num_edges() const { return static_cast<int>(edge_transition_.size()); }
+
+  /// Out-edges of `state` as (transition, successor) pairs:
+  ///   for (const auto& [t, to] : sg.out_edges(s)) ...
+  EdgeRange out_edges(int state) const {
+    const int b = out_row_[state];
+    return EdgeRange(edge_transition_.data() + b, edge_successor_.data() + b,
+                     out_row_[state + 1] - b);
+  }
+  int out_degree(int state) const {
+    return out_row_[state + 1] - out_row_[state];
+  }
+
+  /// In-edges of `state` as (transition, predecessor) pairs — the exact
+  /// transpose of the forward CSR, derived once at construction.
+  EdgeRange in_edges(int state) const {
+    const int b = in_row_[state];
+    return EdgeRange(in_transition_.data() + b, in_source_.data() + b,
+                     in_row_[state + 1] - b);
+  }
+  int in_degree(int state) const { return in_row_[state + 1] - in_row_[state]; }
+
+  /// Visit every edge as f(from, transition, to), in CSR order.
+  template <typename F>
+  void for_each_edge(F&& f) const {
+    for (int s = 0; s < num_states(); ++s) {
+      for (int e = out_row_[s]; e < out_row_[s + 1]; ++e)
+        f(s, edge_transition_[e], edge_successor_[e]);
+    }
+  }
 
   /// Is some transition labelled with this edge enabled at the state?
   bool edge_enabled(int state, const Edge& e) const;
@@ -84,8 +160,10 @@ class StateGraph {
   /// Restrict the graph to the edges for which `keep_edge(state,
   /// transition)` holds, dropping states that become unreachable from the
   /// initial state, and recompute excitation. This is the concurrency-
-  /// reduction primitive of the relative-timing engine. State ids change;
-  /// `old_state_of(new_id)` maps back.
+  /// reduction primitive of the relative-timing engine. The reduced graph
+  /// is produced by a counting pass over the CSR arrays — no marking
+  /// re-exploration, no hashing, and `keep_edge` runs at most once per
+  /// edge. State ids change; `old_state_of(new_id)` maps back.
   StateGraph filtered(
       const std::function<bool(int state, int transition)>& keep_edge) const;
   int old_state_of(int state) const {
@@ -96,11 +174,20 @@ class StateGraph {
   Stg stg_;
   std::vector<SgState> states_;
   std::vector<int> old_state_;  ///< for filtered graphs: new id -> original
-  int num_edges_ = 0;
+  // Forward CSR: out-edges of state s are entries out_row_[s]..out_row_[s+1]
+  // of the parallel transition/successor arrays.
+  std::vector<int> out_row_;
+  std::vector<int> edge_transition_;
+  std::vector<int> edge_successor_;
+  // Reverse CSR (transpose): in-edges of state s, same parallel layout.
+  std::vector<int> in_row_;
+  std::vector<int> in_transition_;
+  std::vector<int> in_source_;
   /// Per-state bitmask over signals: some s+/s- enabled here or reachable
   /// through silent transitions alone.
   std::vector<std::uint64_t> excited_rise_, excited_fall_;
 
+  void build_reverse_csr();
   void compute_excitation();
 };
 

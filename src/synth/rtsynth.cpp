@@ -38,7 +38,7 @@ LazyRegion lazy_region(const StateGraph& sg, int signal, Polarity pol) {
       continue;
     }
     bool found = false;
-    for (const auto& [t, to] : sg.state(s).succ) {
+    for (const auto& [t, to] : sg.out_edges(s)) {
       const auto& label = stg.transition(t).label;
       if (!label || label->signal == signal) continue;
       if (sg.excited(to, mine)) {
@@ -75,18 +75,30 @@ void add_constraint(std::vector<RtConstraint>* constraints, const Edge& before,
 
 }  // namespace
 
-RtSynthResult synthesize_rt(const StateGraph& sg, const RtSynthOptions& opts) {
+RtSynthResult synthesize_rt(const StateGraph& sg, const RtSynthOptions& opts,
+                            ReduceResult* precomputed_reduction) {
   const Stg& stg = sg.stg();
   RtSynthResult result;
   result.states_before = sg.num_states();
 
   // 1. Assumptions: user first (they may unlock more automatic ones), then
-  //    the delay-model generation on the original graph.
-  result.assumptions = opts.user_assumptions;
-  for (auto& a : generate_assumptions(sg, opts.generate))
-    result.assumptions.push_back(a);
+  //    the delay-model generation on the original graph — unless the
+  //    caller already ran that pipeline and hands the merged set over.
+  if (opts.assumptions_override) {
+    result.assumptions = *opts.assumptions_override;
+  } else {
+    result.assumptions = opts.user_assumptions;
+    for (auto& a : generate_assumptions(sg, opts.generate))
+      result.assumptions.push_back(a);
+  }
 
-  ReduceResult red = reduce(sg, result.assumptions);
+  // A precomputed reduction is only meaningful together with the explicit
+  // assumption set it was reduced under; the pair travels together from
+  // the flow driver.
+  RTCAD_EXPECTS(!precomputed_reduction || opts.assumptions_override);
+  ReduceResult red = precomputed_reduction
+                         ? std::move(*precomputed_reduction)
+                         : reduce(sg, result.assumptions);
   if (red.deadlocked_states > 0)
     throw SpecError("RT assumptions deadlock the specification");
   result.states_after = red.sg.num_states();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,11 @@ namespace rtcad {
 struct RtSynthOptions {
   GenerateOptions generate;
   std::vector<RtAssumption> user_assumptions;
+  /// When set, synthesize_rt uses exactly this merged (user + generated)
+  /// assumption set and skips its own generation pass. The flow driver
+  /// hands over the set it already computed and validated during
+  /// escalation, so the generate/reduce pipeline is not run twice.
+  std::optional<std::vector<RtAssumption>> assumptions_override;
   /// Map to unfooted domino gates where the precharge is a single literal
   /// (the Figure 6 style; requires environment assumptions to be safe).
   bool allow_unfooted = false;
@@ -49,7 +55,15 @@ struct RtSynthResult {
 /// Throws SpecError if the reduced state graph still lacks CSC (the
 /// assumptions were not strong enough) or if reduction deadlocks the
 /// specification (contradictory assumptions).
+///
+/// `precomputed_reduction`, when non-null, must be the result of
+/// `reduce(sg, <the assumption set synthesize_rt will use>)`; it is
+/// consumed (moved from) instead of reducing again. The flow driver
+/// passes the reduction it already performed while checking CSC, so the
+/// graph is not reduced twice (reduction is the flow's hottest
+/// primitive after construction).
 RtSynthResult synthesize_rt(const StateGraph& sg,
-                            const RtSynthOptions& opts = {});
+                            const RtSynthOptions& opts = {},
+                            ReduceResult* precomputed_reduction = nullptr);
 
 }  // namespace rtcad

@@ -36,7 +36,7 @@ TimedReduceResult timed_reduce(const StateGraph& sg,
     if (!label) return true;  // ε is untimed glue
     double my_lo = 0, my_hi = 0;
     window(stg, label->signal, delays, &my_lo, &my_hi);
-    for (const auto& [t, to] : sg.state(state).succ) {
+    for (const auto& [t, to] : sg.out_edges(state)) {
       if (t == transition) continue;
       const auto& other = stg.transition(t).label;
       if (!other || other->signal == label->signal) continue;

@@ -3,6 +3,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "sg/stategraph.hpp"
 #include "util/strings.hpp"
 
 namespace rtcad {
@@ -25,22 +26,47 @@ NetConstraint parse_net_constraint(const std::string& text) {
 
 namespace {
 
+/// The spec side of a composed state is a state id in the specification's
+/// reachability graph, not a marking: successor lookup and silent closure
+/// become walks over the graph's flat edge arrays (built once), and the
+/// composed-state hash is two integers instead of a marking hash.
 struct ComposedState {
   std::uint64_t values = 0;
-  Marking marking;
+  int spec_state = 0;
   bool operator==(const ComposedState&) const = default;
 };
 
 struct ComposedHash {
   std::size_t operator()(const ComposedState& s) const {
-    return std::hash<std::uint64_t>{}(s.values) * 31 ^ marking_hash(s.marking);
+    return std::hash<std::uint64_t>{}(s.values) * 31 ^
+           std::hash<int>{}(s.spec_state);
   }
 };
 
 class Checker {
  public:
+  /// The spec's reachability graph is built once, up front, capped at the
+  /// same limit as the composed exploration. Trade-off versus the old
+  /// marking-level walk: every successor/closure query afterwards is an
+  /// array lookup, but a spec too large for the cap fails here (with the
+  /// message below) rather than possibly surfacing a conformance
+  /// counterexample first.
+  static StateGraph build_spec_graph(const Stg& spec,
+                                     const ConformanceOptions& opts) {
+    try {
+      return StateGraph::build(spec, SgOptions{opts.max_states});
+    } catch (const SpecError& e) {
+      throw SpecError(std::string("conformance: cannot build the "
+                                  "specification state graph: ") +
+                      e.what());
+    }
+  }
+
   Checker(const Netlist& nl, const Stg& spec, const ConformanceOptions& opts)
-      : nl_(nl), spec_(spec), opts_(opts) {
+      : nl_(nl),
+        spec_(spec),
+        spec_sg_(build_spec_graph(spec, opts)),
+        opts_(opts) {
     RTCAD_EXPECTS(nl.num_nets() <= 64);
     // Map spec signals to nets and vice versa.
     net_signal_.assign(nl.num_nets(), -1);
@@ -73,11 +99,10 @@ class Checker {
 
   ConformanceResult run() {
     ComposedState init;
-    init.marking = spec_.initial_marking();
+    init.spec_state = fire_silent(spec_sg_.initial_state());
     for (int n = 0; n < nl_.num_nets(); ++n) {
       if (nl_.net(n).initial_value) init.values |= std::uint64_t{1} << n;
     }
-    fire_silent(&init.marking);
 
     std::unordered_map<ComposedState, int, ComposedHash> index;
     std::vector<ComposedState> states{init};
@@ -114,21 +139,22 @@ class Checker {
         // Observable nets must be allowed by the spec.
         const int sig = net_signal_[out];
         if (sig >= 0 && !spec_.is_input(sig)) {
-          if (!fire_spec_edge(&succ.marking, Edge{sig, pol})) {
+          const int to = spec_sg_.successor(state.spec_state, Edge{sig, pol});
+          if (to < 0) {
             result.ok = false;
             result.failure = "circuit produced " + event +
                              " which the specification does not allow";
-            result.trace = trace_of(states, parent, si);
+            result.trace = trace_of(parent, si);
             result.trace.push_back(event);
             return result;
           }
-          fire_silent(&succ.marking);
+          succ.spec_state = fire_silent(to);
         }
         push(succ, si, event, &index, &states, &parent, &queue);
       }
 
       // --- environment moves: enabled spec input transitions -----------
-      for (int t : spec_.enabled_transitions(state.marking)) {
+      for (const auto& [t, to] : spec_sg_.out_edges(state.spec_state)) {
         const auto& label = spec_.transition(t).label;
         if (!label) continue;
         if (!spec_.is_input(label->signal)) {
@@ -142,8 +168,7 @@ class Checker {
         if (blocked(state, net, label->pol)) continue;
         ComposedState succ = state;
         succ.values ^= std::uint64_t{1} << net;
-        succ.marking = spec_.fire(state.marking, t);
-        fire_silent(&succ.marking);
+        succ.spec_state = fire_silent(to);
         const std::string event = spec_.edge_text(*label);
         push(succ, si, event, &index, &states, &parent, &queue);
       }
@@ -152,7 +177,7 @@ class Checker {
         result.ok = false;
         result.failure = "circuit is quiescent but the specification "
                          "still expects an output transition";
-        result.trace = trace_of(states, parent, si);
+        result.trace = trace_of(parent, si);
         return result;
       }
     }
@@ -183,7 +208,7 @@ class Checker {
     // Primary input: excited if the spec can fire that edge.
     const int sig = net_signal_[n];
     if (sig < 0) return false;
-    for (int t : spec_.enabled_transitions(s.marking)) {
+    for (const auto& [t, to] : spec_sg_.out_edges(s.spec_state)) {
       const auto& label = spec_.transition(t).label;
       if (label && label->signal == sig && label->pol == pol) return true;
     }
@@ -199,33 +224,26 @@ class Checker {
     return false;
   }
 
-  bool fire_spec_edge(Marking* m, const Edge& e) {
-    for (int t : spec_.enabled_transitions(*m)) {
-      const auto& label = spec_.transition(t).label;
-      if (label && *label == e) {
-        *m = spec_.fire(*m, t);
-        return true;
-      }
-    }
-    return false;
-  }
-
-  void fire_silent(Marking* m) {
-    bool progress = true;
-    while (progress) {
+  /// Eagerly follow unobservable spec transitions — dummies and internal
+  /// signals — to their fixpoint. Edge walk over the spec's state graph;
+  /// takes the first unobservable out-edge each step, mirroring the
+  /// marking-level closure this replaced.
+  int fire_silent(int spec_state) const {
+    for (bool progress = true; progress;) {
       progress = false;
-      for (int t : spec_.enabled_transitions(*m)) {
+      for (const auto& [t, to] : spec_sg_.out_edges(spec_state)) {
         const auto& label = spec_.transition(t).label;
         const bool unobservable =
             !label ||
             spec_.signal(label->signal).kind == SignalKind::kInternal;
         if (unobservable) {
-          *m = spec_.fire(*m, t);
+          spec_state = to;
           progress = true;
           break;
         }
       }
     }
+    return spec_state;
   }
 
   void push(const ComposedState& succ, int from, const std::string& event,
@@ -241,7 +259,6 @@ class Checker {
   }
 
   static std::vector<std::string> trace_of(
-      const std::vector<ComposedState>& states,
       const std::vector<std::pair<int, std::string>>& parent, int s) {
     std::vector<std::string> trace;
     for (int i = s; parent[i].first >= 0; i = parent[i].first)
@@ -258,6 +275,7 @@ class Checker {
 
   const Netlist& nl_;
   const Stg& spec_;
+  const StateGraph spec_sg_;
   const ConformanceOptions& opts_;
   std::vector<int> net_signal_, signal_net_;
   std::vector<InternalConstraint> constraints_;

@@ -3,6 +3,9 @@
 // builder (and sizes of the pipeline family).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+
 #include "flow/rtflow.hpp"
 #include "rt/generate.hpp"
 #include "rt/reduce.hpp"
@@ -35,7 +38,7 @@ TEST_P(CorpusTest, CodesFlipExactlyOneSignalPerEdge) {
   const StateGraph sg = StateGraph::build(GetParam().make());
   const Stg& stg = sg.stg();
   for (int s = 0; s < sg.num_states(); ++s) {
-    for (const auto& [t, to] : sg.state(s).succ) {
+    for (const auto& [t, to] : sg.out_edges(s)) {
       const auto& label = stg.transition(t).label;
       const std::uint64_t diff = sg.code(s) ^ sg.code(to);
       if (!label) {
@@ -53,7 +56,7 @@ TEST_P(CorpusTest, ExcitationIsConsistentWithEdges) {
   const StateGraph sg = StateGraph::build(GetParam().make());
   const Stg& stg = sg.stg();
   for (int s = 0; s < sg.num_states(); ++s) {
-    for (const auto& [t, to] : sg.state(s).succ) {
+    for (const auto& [t, to] : sg.out_edges(s)) {
       const auto& label = stg.transition(t).label;
       if (!label) continue;
       EXPECT_TRUE(sg.excited(s, *label))
@@ -71,6 +74,61 @@ TEST_P(CorpusTest, IdentityFilterPreservesTheGraph) {
     EXPECT_EQ(same.code(s), sg.code(same.old_state_of(s)));
 }
 
+TEST_P(CorpusTest, IdentityFilterIsEdgeForEdgeIdentical) {
+  // Stronger than state/edge counts: filtered(keep_all) must reproduce the
+  // CSR exactly — same state order (ids are BFS discovery order in both
+  // build and filtered), same out-edge sequence per state, same excitation.
+  const StateGraph sg = StateGraph::build(GetParam().make());
+  const StateGraph same = sg.filtered([](int, int) { return true; });
+  ASSERT_EQ(same.num_states(), sg.num_states());
+  ASSERT_EQ(same.num_edges(), sg.num_edges());
+  const Stg& stg = sg.stg();
+  for (int s = 0; s < sg.num_states(); ++s) {
+    EXPECT_EQ(same.old_state_of(s), s);
+    EXPECT_EQ(same.code(s), sg.code(s));
+    ASSERT_EQ(same.out_degree(s), sg.out_degree(s));
+    const auto a = sg.out_edges(s);
+    const auto b = same.out_edges(s);
+    for (int i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].transition, b[i].transition);
+      EXPECT_EQ(a[i].state, b[i].state);
+    }
+    for (int sig = 0; sig < stg.num_signals(); ++sig) {
+      for (Polarity pol : {Polarity::kRise, Polarity::kFall}) {
+        EXPECT_EQ(same.excited(s, Edge{sig, pol}),
+                  sg.excited(s, Edge{sig, pol}));
+      }
+    }
+  }
+}
+
+TEST_P(CorpusTest, PredecessorCsrIsExactTranspose) {
+  // The reverse adjacency must be the transpose of the forward CSR: the
+  // same (from, transition, to) multiset, with in-degrees summing to the
+  // edge count. Checked on the full graph and on a reduced one.
+  const StateGraph full = StateGraph::build(GetParam().make());
+  GenerateOptions g;
+  g.outputs_beat_inputs = true;
+  const StateGraph reduced =
+      reduce(full, generate_assumptions(full, g)).sg;
+  for (const StateGraph* sg : {&full, &reduced}) {
+    std::vector<std::array<int, 3>> fwd, rev;
+    sg->for_each_edge(
+        [&](int from, int t, int to) { fwd.push_back({from, t, to}); });
+    int in_degree_sum = 0;
+    for (int s = 0; s < sg->num_states(); ++s) {
+      in_degree_sum += sg->in_degree(s);
+      for (const auto& [t, from] : sg->in_edges(s))
+        rev.push_back({from, t, s});
+    }
+    EXPECT_EQ(static_cast<int>(fwd.size()), sg->num_edges());
+    EXPECT_EQ(in_degree_sum, sg->num_edges());
+    std::sort(fwd.begin(), fwd.end());
+    std::sort(rev.begin(), rev.end());
+    EXPECT_EQ(fwd, rev);
+  }
+}
+
 TEST_P(CorpusTest, ReductionYieldsSubgraph) {
   const StateGraph sg = StateGraph::build(GetParam().make());
   GenerateOptions g;
@@ -81,7 +139,7 @@ TEST_P(CorpusTest, ReductionYieldsSubgraph) {
   // Every reduced edge must exist in the original graph.
   for (int s = 0; s < red.sg.num_states(); ++s) {
     const int orig = red.sg.old_state_of(s);
-    for (const auto& [t, to] : red.sg.state(s).succ) {
+    for (const auto& [t, to] : red.sg.out_edges(s)) {
       EXPECT_GE(sg.successor_by_transition(orig, t), 0);
     }
   }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "flow/rtflow.hpp"
 #include "rt/assumption.hpp"
 #include "rt/generate.hpp"
 #include "rt/reduce.hpp"
@@ -116,10 +117,72 @@ TEST(Reduce, SilentTransitionsAreEager) {
   const ReduceResult red = reduce(sg, generate_assumptions(sg, g));
   for (int s = 0; s < red.sg.num_states(); ++s) {
     bool has_silent = false;
-    for (const auto& [t, to] : red.sg.state(s).succ)
+    for (const auto& [t, to] : red.sg.out_edges(s))
       if (red.sg.stg().transition(t).is_silent()) has_silent = true;
-    if (has_silent) EXPECT_EQ(red.sg.state(s).succ.size(), 1u);
+    if (has_silent) {
+      EXPECT_EQ(red.sg.out_degree(s), 1);
+    }
   }
+}
+
+TEST(Generate, RingEnvironmentResolvesFifoCsc) {
+  // The paper's decoupled FIFO: no state signal can separate the straggler
+  // states (test_sg's DecoupledFifoIsBeyondPureInsertion), but the ring-
+  // environment rules prune them. The generated set must restore CSC on
+  // the reduced graph without deadlocking or breaking persistency — the
+  // ROADMAP's "assumptions too weak on fifo_stg" item.
+  const StateGraph sg = StateGraph::build(fifo_stg());
+  GenerateOptions g;
+  g.ring_environment = true;
+  const auto assumptions = generate_assumptions(sg, g);
+  const ReduceResult red = reduce(sg, assumptions);
+  EXPECT_EQ(red.deadlocked_states, 0);
+  EXPECT_LT(red.sg.num_states(), sg.num_states());
+  const SgAnalysis a = analyze(red.sg);
+  EXPECT_TRUE(a.has_csc());
+  EXPECT_TRUE(a.speed_independent());
+}
+
+TEST(Generate, RingEnvironmentOffByDefault) {
+  const StateGraph sg = StateGraph::build(fifo_stg());
+  EXPECT_TRUE(generate_assumptions(sg).empty());
+}
+
+TEST(Generate, RingEnvironmentIsSafeAcrossCorpus) {
+  // The aggressive rules must never strand a state, whatever the spec —
+  // including with a round cap that cuts refinement (or validation) short:
+  // the final deadlock check must still cover every unvalidated suffix.
+  for (Stg (*make)() : {fifo_stg, fifo_csc_stg, fifo_si_stg, celement_stg,
+                        vme_stg, toggle_stg, call_stg}) {
+    const Stg spec = make();
+    const StateGraph sg = StateGraph::build(spec);
+    for (int rounds : {6, 1, 0}) {
+      GenerateOptions g;
+      g.ring_environment = true;
+      g.max_refinement_rounds = rounds;
+      const ReduceResult red = reduce(sg, generate_assumptions(sg, g));
+      EXPECT_EQ(red.deadlocked_states, 0)
+          << spec.name() << " rounds=" << rounds;
+    }
+  }
+}
+
+TEST(Flow, RtFlowSynthesizesDecoupledFifoWithoutStateSignal) {
+  // End-to-end: the RT flow escalates to the ring-environment model instead
+  // of falling back to CSC signal insertion (which cannot succeed here).
+  FlowOptions rt;
+  rt.mode = FlowMode::kRelativeTiming;
+  const FlowResult r = run_flow(fifo_stg(), rt);
+  EXPECT_EQ(r.state_signals_added, 0);
+  EXPECT_LT(r.states_reduced, r.states);
+  ASSERT_TRUE(r.rt.has_value());
+  EXPECT_GT(r.rt->constraints.size(), 0u);
+  bool escalated_stage = false;
+  for (const auto& s : r.stages) {
+    if (s.detail.find("ring-environment") != std::string::npos)
+      escalated_stage = true;
+  }
+  EXPECT_TRUE(escalated_stage);
 }
 
 TEST(Reduce, OldStateMappingIsConsistent) {

@@ -213,7 +213,7 @@ TEST_P(PipelineParam, CodesAreConsistentWithEdges) {
   const Stg stg = pipeline_stg(GetParam());
   const StateGraph sg = StateGraph::build(stg);
   for (int s = 0; s < sg.num_states(); ++s) {
-    for (const auto& [t, to] : sg.state(s).succ) {
+    for (const auto& [t, to] : sg.out_edges(s)) {
       const auto& label = stg.transition(t).label;
       if (!label) continue;
       const std::uint64_t diff = sg.code(s) ^ sg.code(to);

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Regenerate the specs/ corpus golden JSON.
+#
+#   tools/gen_golden.sh [output.json]
+#
+# Re-exports the built-in builder specs into specs/ (so the checked-in .g
+# files can never drift from the builders), then runs rtflow_cli over the
+# whole specs/*.g glob and writes the canonical JSON (default:
+# specs/golden.json). CI runs this into a temp file and byte-compares it
+# against the checked-in golden; any behaviour change in the flow must come
+# with a regenerated golden in the same commit.
+set -eu
+LC_ALL=C
+export LC_ALL
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+CLI="$BUILD_DIR/rtflow_cli"
+OUT=${1:-specs/golden.json}
+
+if [ ! -x "$CLI" ]; then
+  echo "gen_golden.sh: $CLI not built (set BUILD_DIR or build first)" >&2
+  exit 1
+fi
+
+"$CLI" --export-specs specs
+
+set -- specs/*.g
+args=""
+for f in "$@"; do
+  args="$args --spec $f"
+done
+
+# shellcheck disable=SC2086  # word-splitting of $args is intentional
+"$CLI" $args --mode rt --threads 4 --out "$OUT"
+echo "gen_golden.sh: wrote $OUT ($# specs)"

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "flow/batchflow.hpp"
+#include "stg/builders.hpp"
+#include "stg/parse.hpp"
 
 using namespace rtcad;
 
@@ -40,9 +42,43 @@ int usage(const char* argv0, int code) {
       "  --timings            include wall-clock times in the JSON\n"
       "  --out FILE           write JSON to FILE instead of stdout\n"
       "  --list               print corpus names and exit\n"
+      "  --export-specs DIR   write every built-in builder spec to DIR as .g\n"
+      "                       files (the checked-in specs/ corpus source)\n"
       "  --help               this text\n",
       argv0);
   return code;
+}
+
+/// Write the builder specs as `.g` files — the reproducible half of the
+/// checked-in specs/ corpus (tools/gen_golden.sh re-runs this).
+int export_specs(const char* argv0, const std::string& dir) {
+  struct Item {
+    const char* file;
+    Stg spec;
+  };
+  const Item items[] = {
+      {"fifo.g", fifo_stg()},         {"fifo_csc.g", fifo_csc_stg()},
+      {"fifo_si.g", fifo_si_stg()},   {"celement.g", celement_stg()},
+      {"vme.g", vme_stg()},           {"toggle.g", toggle_stg()},
+      {"call.g", call_stg()},         {"pipeline2.g", pipeline_stg(2)},
+      {"pipeline3.g", pipeline_stg(3)}, {"pipeline4.g", pipeline_stg(4)},
+  };
+  for (const Item& item : items) {
+    const std::string path = dir + "/" + item.file;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv0,
+                   path.c_str());
+      return 1;
+    }
+    const std::string text = write_stg(item.spec);
+    const bool write_ok = std::fputs(text.c_str(), f) >= 0;
+    if (!write_ok || std::fclose(f) != 0) {
+      std::fprintf(stderr, "%s: failed to write '%s'\n", argv0, path.c_str());
+      return 1;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -53,6 +89,7 @@ int main(int argc, char** argv) {
   bool list_only = false;
   int pipeline_stages = 6;
   std::string out_path;
+  std::string export_dir;
   std::vector<std::string> spec_files;
   FlowOptions file_opts;
   BatchOptions batch_opts;
@@ -114,11 +151,15 @@ int main(int argc, char** argv) {
       out_path = need_value(i);
     } else if (!std::strcmp(arg, "--list")) {
       list_only = true;
+    } else if (!std::strcmp(arg, "--export-specs")) {
+      export_dir = need_value(i);
     } else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
       return usage(argv[0], 2);
     }
   }
+
+  if (!export_dir.empty()) return export_specs(argv[0], export_dir);
 
   std::vector<BatchSpec> corpus;
   if (use_builtin || spec_files.empty()) {
