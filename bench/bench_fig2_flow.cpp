@@ -164,6 +164,14 @@ int main() {
     StateGraph sg = StateGraph::build(big, unlimited);
     const double build_ms =
         best_of_ms(3, [&] { sg = StateGraph::build(big, unlimited); });
+    // Level-synchronous parallel build at 8 workers: byte-identical graph,
+    // timed against the sequential loop. The BENCH_JSON keys keep the
+    // sequential time as `build_us` so the cross-PR trajectory stays
+    // comparable; `build_t8_us` tracks the parallel builder.
+    SgOptions par = unlimited;
+    par.threads = 8;
+    const double build_t8_ms =
+        best_of_ms(3, [&] { sg = StateGraph::build(big, par); });
     SgAnalysis verdict;
     const double verify_ms = best_of_ms(3, [&] { verdict = analyze(sg); });
     const auto assumptions = generate_assumptions(sg, gen);
@@ -176,21 +184,25 @@ int main() {
     const long long ns_per_edge =
         static_cast<long long>(total_ms * 1e6 / sg.num_edges() + 0.5);
     std::printf(
-        "\nfull hot path, pipeline_stg(%d): %d states, %d edges\n"
-        "  build:  %8.2f ms\n"
+        "\nfull hot path, pipeline_stg(%d): %d states, %d edges, "
+        "%d BFS levels (peak frontier %d)\n"
+        "  build (1 thread):  %8.2f ms\n"
+        "  build (8 threads): %8.2f ms (%.2fx, identical graph)\n"
         "  verify: %8.2f ms (%zu persistency, %zu CSC conflicts)\n"
         "  reduce: %8.2f ms (-> %d states)\n"
         "  total:  %8.2f ms, %lld ns/edge\n",
-        stages, sg.num_states(), sg.num_edges(), build_ms, verify_ms,
-        verdict.persistency.size(), verdict.csc_conflicts.size(), reduce_ms,
-        reduced_states, total_ms, ns_per_edge);
+        stages, sg.num_states(), sg.num_edges(), sg.num_levels(),
+        sg.peak_frontier(), build_ms, build_t8_ms, build_ms / build_t8_ms,
+        verify_ms, verdict.persistency.size(), verdict.csc_conflicts.size(),
+        reduce_ms, reduced_states, total_ms, ns_per_edge);
     // One greppable line per run; integer microseconds are locale-proof.
     std::printf(
         "BENCH_JSON: {\"name\": \"pipeline%d\", \"states\": %d, "
-        "\"edges\": %d, \"build_us\": %lld, \"verify_us\": %lld, "
-        "\"reduce_us\": %lld, \"ns_per_edge\": %lld}\n",
+        "\"edges\": %d, \"build_us\": %lld, \"build_t8_us\": %lld, "
+        "\"verify_us\": %lld, \"reduce_us\": %lld, \"ns_per_edge\": %lld}\n",
         stages, sg.num_states(), sg.num_edges(),
         static_cast<long long>(build_ms * 1000 + 0.5),
+        static_cast<long long>(build_t8_ms * 1000 + 0.5),
         static_cast<long long>(verify_ms * 1000 + 0.5),
         static_cast<long long>(reduce_ms * 1000 + 0.5), ns_per_edge);
     if (reduced_states <= 0 || reduced_states > sg.num_states()) {

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <thread>
 
 #include "stg/builders.hpp"
 #include "stg/parse.hpp"
 #include "util/strings.hpp"
+#include "util/workpool.hpp"
 
 namespace rtcad {
 namespace {
@@ -56,30 +56,22 @@ BatchResult run_batch(const std::vector<BatchSpec>& corpus,
   BatchResult result;
   result.items.resize(corpus.size());
 
-  std::size_t requested = opts.threads > 0
-                              ? static_cast<std::size_t>(opts.threads)
-                              : std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t workers = std::min(requested, corpus.size());
+  const std::size_t requested =
+      static_cast<std::size_t>(WorkPool::effective_threads(opts.threads));
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min(requested, corpus.size()));
 
   // Work-stealing by atomic cursor: items are claimed in corpus order and
   // written to their own slot, so aggregation is independent of scheduling.
   std::atomic<std::size_t> cursor{0};
-  const auto worker = [&corpus, &result, &cursor] {
+  WorkPool pool(static_cast<int>(workers));
+  pool.run([&corpus, &result, &cursor](int) {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= corpus.size()) return;
       result.items[i] = run_one(corpus[i]);
     }
-  };
-
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-  }
+  });
 
   for (const auto& item : result.items) {
     if (item.ok)

@@ -32,10 +32,14 @@ FlowResult run_flow(const Stg& input_spec, const FlowOptions& opts) {
   StateGraph sg = StateGraph::build(result.spec, opts.sg);
   result.states = sg.num_states();
   SgAnalysis analysis = analyze(sg);
+  // Level stats come from the builder's BFS and are a property of the graph,
+  // not of the schedule: identical at every sg.threads setting, so they are
+  // safe inside the canonical (golden-diffed) JSON.
   stage(&result, "reachability",
-        strprintf("%d states, %d edges, %zu persistency violations, %zu CSC "
-                  "conflicts",
-                  sg.num_states(), sg.num_edges(), analysis.persistency.size(),
+        strprintf("%d states, %d edges, %d levels, peak frontier %d, "
+                  "%zu persistency violations, %zu CSC conflicts",
+                  sg.num_states(), sg.num_edges(), sg.num_levels(),
+                  sg.peak_frontier(), analysis.persistency.size(),
                   analysis.csc_conflicts.size()));
   if (!analysis.speed_independent())
     throw SpecError("specification is not output-persistent: " +

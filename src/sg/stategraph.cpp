@@ -1,6 +1,14 @@
 #include "sg/stategraph.hpp"
 
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <optional>
 #include <utility>
+
+#include "util/workpool.hpp"
 
 namespace rtcad {
 namespace {
@@ -61,6 +69,178 @@ class VisitedTable {
   std::size_t size_ = 0;
 };
 
+// Apply the initial-value constraint of firing labelled transition `t` at
+// switching parity `par`, and return the successor parity. Shared verbatim
+// by the sequential loop and the parallel merge so the two paths throw the
+// same error for the same edge.
+std::uint64_t apply_edge_parity(const Stg& stg, int t, std::uint64_t par,
+                                std::vector<signed char>* v0) {
+  const auto& label = stg.transition(t).label;
+  if (!label.has_value()) return par;
+  // v(s) at this marking is v0(s) ^ parity; s+ requires v=0, s- v=1.
+  const int pre_parity = static_cast<int>((par >> label->signal) & 1);
+  const int required_v0 =
+      (label->pol == Polarity::kRise) ? pre_parity : 1 - pre_parity;
+  signed char& known = (*v0)[label->signal];
+  if (known == -1) {
+    known = static_cast<signed char>(required_v0);
+  } else if (known != required_v0) {
+    throw SpecError("STG '" + stg.name() + "' is inconsistent: signal '" +
+                    stg.signal(label->signal).name +
+                    "' requires contradictory initial values");
+  }
+  return par ^ (std::uint64_t{1} << label->signal);
+}
+
+// ---- parallel exploration ------------------------------------------------
+//
+// Successor reference recorded by a worker during one level-synchronous
+// round. Non-negative values are final state ids (states discovered in
+// earlier rounds, or id 0). kFireErrorRef marks an edge whose fire_into
+// threw (the message rides in ChunkOut::fire_errors and is rethrown by the
+// merge at this edge's deterministic position). Any other negative value is
+// a pending discovery of this round, encoded as ~((worker << 32) | index)
+// into that worker's pending deque.
+using Ref = std::int64_t;
+constexpr Ref kFireErrorRef = std::numeric_limits<Ref>::min();
+constexpr Ref kEmptyRef = std::numeric_limits<Ref>::max();
+
+Ref encode_pending(int worker, std::size_t index) {
+  return ~((static_cast<Ref>(worker) << 32) | static_cast<Ref>(index));
+}
+int pending_worker(Ref r) { return static_cast<int>((~r) >> 32); }
+std::size_t pending_index(Ref r) {
+  return static_cast<std::size_t>((~r) & 0xffffffff);
+}
+
+/// A marking discovered during the current round, parked until the merge
+/// assigns its deterministic id. Lives in a per-worker std::deque so the
+/// Marking's address stays stable while other workers compare against it
+/// through the visited-table slot pointer.
+struct PendingState {
+  Marking marking;
+  std::uint64_t hash = 0;
+  int final_id = -1;  ///< assigned by the merge step
+};
+
+// Concurrent visited table for the parallel builder: the open-addressed
+// marking-hash layout of VisitedTable, striped 64 ways by the top hash bits
+// with one mutex per stripe (a marking always hashes to the same stripe, so
+// one lock covers lookup, insert, and the publication of the pending
+// marking bytes). Slots hold (hash, ref): probing compares the cached hash
+// first and touches marking bytes only on a hash hit — final refs resolve
+// through the StateGraph's state vector (stable during a round; the merge
+// between rounds is single-threaded), pending refs through the stable slot
+// pointer into the owning worker's deque.
+class StripedVisitedTable {
+ public:
+  explicit StripedVisitedTable(const std::vector<SgState>* states)
+      : states_(states) {
+    for (Stripe& st : stripes_) {
+      st.slots.assign(kInitialSlots, Slot{});
+      st.mask = kInitialSlots - 1;
+    }
+  }
+
+  /// Pre-exploration insert of the initial state (no concurrency yet).
+  void seed(std::uint64_t h, int id) {
+    Stripe& st = stripe_of(h);
+    std::size_t i = h & st.mask;
+    while (st.slots[i].ref != kEmptyRef) i = (i + 1) & st.mask;
+    st.slots[i] = Slot{h, id, nullptr};
+    ++st.size;
+  }
+
+  /// Return the resident ref for `next`, or copy it into `pending` (owned
+  /// by `worker`) and return the fresh pending ref.
+  Ref find_or_insert(const Marking& next, std::uint64_t h, int worker,
+                     std::deque<PendingState>* pending) {
+    Stripe& st = stripe_of(h);
+    std::lock_guard<std::mutex> lock(st.mu);
+    if ((st.size + 1) * 4 > st.slots.size() * 3) rehash(&st);
+    std::size_t i = h & st.mask;
+    while (st.slots[i].ref != kEmptyRef) {
+      if (st.slots[i].hash == h && slot_marking(st.slots[i]) == next)
+        return st.slots[i].ref;
+      i = (i + 1) & st.mask;
+    }
+    pending->push_back(PendingState{next, h, -1});
+    const Ref ref = encode_pending(worker, pending->size() - 1);
+    st.slots[i] = Slot{h, ref, &pending->back().marking};
+    ++st.size;
+    return ref;
+  }
+
+  /// Merge step (single-threaded, between rounds): swap a pending ref for
+  /// its final id so later rounds resolve through the state vector.
+  void finalize(const PendingState& p, Ref pending_ref, int final_id) {
+    Stripe& st = stripe_of(p.hash);
+    std::size_t i = p.hash & st.mask;
+    while (st.slots[i].ref != pending_ref) {
+      RTCAD_ASSERT(st.slots[i].ref != kEmptyRef);
+      i = (i + 1) & st.mask;
+    }
+    st.slots[i].ref = final_id;
+    st.slots[i].marking = nullptr;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    Ref ref = kEmptyRef;
+    const Marking* marking = nullptr;  ///< pending refs only
+  };
+  struct Stripe {
+    std::mutex mu;
+    std::vector<Slot> slots;
+    std::size_t mask = 0;
+    std::size_t size = 0;
+  };
+  static constexpr int kStripeBits = 6;
+  static constexpr std::size_t kInitialSlots = 64;
+
+  Stripe& stripe_of(std::uint64_t h) {
+    return stripes_[h >> (64 - kStripeBits)];
+  }
+  const Marking& slot_marking(const Slot& s) const {
+    return s.ref >= 0 ? (*states_)[static_cast<std::size_t>(s.ref)].marking
+                      : *s.marking;
+  }
+  void rehash(Stripe* st) {
+    std::vector<Slot> old = std::move(st->slots);
+    st->slots.assign(old.size() * 2, Slot{});
+    st->mask = st->slots.size() - 1;
+    for (const Slot& s : old) {
+      if (s.ref == kEmptyRef) continue;
+      std::size_t i = s.hash & st->mask;
+      while (st->slots[i].ref != kEmptyRef) i = (i + 1) & st->mask;
+      st->slots[i] = s;
+    }
+  }
+
+  const std::vector<SgState>* states_;
+  Stripe stripes_[std::size_t{1} << kStripeBits];
+};
+
+/// Everything one worker records while expanding one contiguous frontier
+/// chunk. Chunks are contiguous id ranges and the merge concatenates them
+/// in chunk order, so the concatenation enumerates the level's edges in
+/// exactly the (parent-id, transition-index) order the sequential loop
+/// fires them in.
+struct ChunkOut {
+  std::vector<int> degree;  ///< out-degree per state of the chunk, in order
+  std::vector<int> trans;   ///< per edge: transition id
+  std::vector<Ref> succ;    ///< per edge: successor ref
+  std::vector<std::string> fire_errors;  ///< messages for kFireErrorRef edges
+
+  void reset() {
+    degree.clear();
+    trans.clear();
+    succ.clear();
+    fire_errors.clear();
+  }
+};
+
 }  // namespace
 
 StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
@@ -73,73 +253,17 @@ StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
   // and collecting constraints on the initial values v0. State ids are
   // assigned in BFS discovery order and the frontier is consumed in id
   // order, so the out-edges of each state are emitted consecutively — the
-  // flat CSR arrays fill in their final order with no sorting pass.
-  VisitedTable index;
+  // flat CSR arrays fill in their final order with no sorting pass. The
+  // parallel exploration reproduces this order exactly (its merge assigns
+  // ids in (parent-id, transition-index) order, which *is* BFS discovery
+  // order), so both paths yield byte-identical graphs.
   std::vector<std::uint64_t> parity;
   std::vector<signed char> v0(64, -1);  // -1 unknown, else 0/1
-
-  const Marking m0 = stg.initial_marking();
-  sg.states_.push_back(SgState{m0, 0});
-  parity.push_back(0);
-  {
-    const auto seeded =
-        index.find_or_insert(m0, marking_hash(m0), 0, sg.states_);
-    RTCAD_ASSERT(seeded.second);
-  }
-
-  // Scratch buffers reused across the whole exploration: firing target,
-  // enabled-transition list and the current marking are the per-edge
-  // allocations this loop must not make.
-  Marking marking, next;
-  std::vector<int> enabled;
-
-  for (int si = 0; si < static_cast<int>(sg.states_.size()); ++si) {
-    sg.out_row_.push_back(static_cast<int>(sg.edge_transition_.size()));
-    // Copy into scratch: states_ may reallocate while pushing successors.
-    marking = sg.states_[si].marking;
-    const std::uint64_t par = parity[si];
-
-    stg.enabled_transitions(marking, &enabled);
-    for (int t : enabled) {
-      std::uint64_t next_par = par;
-      if (stg.transition(t).label.has_value()) {
-        const Edge label = *stg.transition(t).label;
-        // v(s) at this marking is v0(s) ^ parity; s+ requires v=0, s- v=1.
-        const int pre_parity =
-            static_cast<int>((par >> label.signal) & 1);
-        const int required_v0 =
-            (label.pol == Polarity::kRise) ? pre_parity : 1 - pre_parity;
-        if (v0[label.signal] == -1) {
-          v0[label.signal] = static_cast<signed char>(required_v0);
-        } else if (v0[label.signal] != required_v0) {
-          throw SpecError("STG '" + stg.name() +
-                          "' is inconsistent: signal '" +
-                          stg.signal(label.signal).name +
-                          "' requires contradictory initial values");
-        }
-        next_par ^= std::uint64_t{1} << label.signal;
-      }
-      stg.fire_into(marking, t, &next);
-      const int candidate_id = static_cast<int>(sg.states_.size());
-      const auto insertion = index.find_or_insert(next, marking_hash(next),
-                                                  candidate_id, sg.states_);
-      const int succ_id = insertion.first;
-      if (insertion.second) {
-        if (sg.states_.size() >= opts.max_states)
-          throw SpecError("state graph of '" + stg.name() + "' exceeds " +
-                          std::to_string(opts.max_states) + " states");
-        sg.states_.push_back(SgState{next, 0});
-        parity.push_back(next_par);
-      } else if (parity[succ_id] != next_par) {
-        throw SpecError("STG '" + stg.name() +
-                        "' is inconsistent: switching parity differs "
-                        "between paths to the same marking");
-      }
-      sg.edge_transition_.push_back(t);
-      sg.edge_successor_.push_back(succ_id);
-    }
-  }
-  sg.out_row_.push_back(static_cast<int>(sg.edge_transition_.size()));
+  const int threads = WorkPool::effective_threads(opts.threads);
+  if (threads <= 1)
+    sg.explore_sequential(opts, &parity, &v0);
+  else
+    sg.explore_parallel(opts, threads, &parity, &v0);
 
   // Signals with an explicitly declared initial value win over inference
   // only when inference produced no constraint.
@@ -156,6 +280,236 @@ StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
   sg.build_reverse_csr();
   sg.compute_excitation();
   return sg;
+}
+
+void StateGraph::explore_sequential(const SgOptions& opts,
+                                    std::vector<std::uint64_t>* parity_out,
+                                    std::vector<signed char>* v0_out) {
+  const Stg& stg = stg_;
+  std::vector<std::uint64_t>& parity = *parity_out;
+
+  VisitedTable index;
+  const Marking m0 = stg.initial_marking();
+  states_.push_back(SgState{m0, 0});
+  parity.push_back(0);
+  {
+    const auto seeded =
+        index.find_or_insert(m0, marking_hash(m0), 0, states_);
+    RTCAD_ASSERT(seeded.second);
+  }
+
+  // Scratch buffers reused across the whole exploration: firing target,
+  // enabled-transition list and the current marking are the per-edge
+  // allocations this loop must not make.
+  Marking marking, next;
+  std::vector<int> enabled;
+
+  // BFS level tracking: ids are assigned in discovery order, so each level
+  // is a contiguous id range and crossing `level_boundary` means every
+  // state of the current level has been expanded.
+  std::size_t level_begin = 0, level_boundary = 1;
+
+  for (int si = 0; si < static_cast<int>(states_.size()); ++si) {
+    if (static_cast<std::size_t>(si) == level_boundary) {
+      level_sizes_.push_back(static_cast<int>(level_boundary - level_begin));
+      level_begin = level_boundary;
+      level_boundary = states_.size();
+    }
+    out_row_.push_back(static_cast<int>(edge_transition_.size()));
+    // Copy into scratch: states_ may reallocate while pushing successors.
+    marking = states_[si].marking;
+    const std::uint64_t par = parity[si];
+
+    stg.enabled_transitions(marking, &enabled);
+    for (int t : enabled) {
+      const std::uint64_t next_par = apply_edge_parity(stg, t, par, v0_out);
+      stg.fire_into(marking, t, &next);
+      const int candidate_id = static_cast<int>(states_.size());
+      const auto insertion = index.find_or_insert(next, marking_hash(next),
+                                                  candidate_id, states_);
+      const int succ_id = insertion.first;
+      if (insertion.second) {
+        if (states_.size() >= opts.max_states)
+          throw SpecError("state graph of '" + stg.name() + "' exceeds " +
+                          std::to_string(opts.max_states) + " states");
+        states_.push_back(SgState{next, 0});
+        parity.push_back(next_par);
+      } else if (parity[succ_id] != next_par) {
+        throw SpecError("STG '" + stg.name() +
+                        "' is inconsistent: switching parity differs "
+                        "between paths to the same marking");
+      }
+      edge_transition_.push_back(t);
+      edge_successor_.push_back(succ_id);
+    }
+  }
+  out_row_.push_back(static_cast<int>(edge_transition_.size()));
+  level_sizes_.push_back(static_cast<int>(states_.size() - level_begin));
+}
+
+void StateGraph::explore_parallel(const SgOptions& opts, int threads,
+                                  std::vector<std::uint64_t>* parity_out,
+                                  std::vector<signed char>* v0_out) {
+  const Stg& stg = stg_;
+  std::vector<std::uint64_t>& parity = *parity_out;
+
+  StripedVisitedTable table(&states_);
+  const Marking m0 = stg.initial_marking();
+  states_.push_back(SgState{m0, 0});
+  parity.push_back(0);
+  table.seed(marking_hash(m0), 0);
+
+  // Per-worker expansion state. The deques hold this round's discoveries;
+  // markings are moved out (never copied again) when the merge assigns ids.
+  struct WorkerScratch {
+    Marking next;
+    std::vector<int> enabled;
+  };
+  std::vector<WorkerScratch> scratch(static_cast<std::size_t>(threads));
+  std::vector<std::deque<PendingState>> pending(
+      static_cast<std::size_t>(threads));
+  // The pool persists across rounds (spawned on the first round wide enough
+  // to need it); narrow frontiers expand inline on this thread instead of
+  // paying a wakeup — the chunk walk is identical either way.
+  std::optional<WorkPool> pool;
+
+  // Round state, hoisted so the discovery buffers and the pool job keep
+  // their allocations across BFS rounds (pool.run's lock handoff makes the
+  // per-round writes visible to the workers).
+  std::vector<ChunkOut> chunks;
+  std::size_t level_begin = 0, level_end = 1;
+  std::size_t chunk_size = 0, num_chunks = 0;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> parked{0};
+
+  // Expansion: workers claim contiguous chunks of the frontier and record
+  // (transition, successor-ref) per edge; all throwing checks are deferred
+  // to the merge so the first error in sequential order wins regardless of
+  // scheduling. fire_into is the one call that can throw here (token-bound
+  // overflow) — its message is parked in the chunk.
+  //
+  // Cap containment: once visited + parked discoveries exceed max_states,
+  // the merge is guaranteed to throw the cap error (or an earlier-in-order
+  // one), so workers stop claiming further chunks instead of parking
+  // markings the error will discard. Claimed chunks always complete, and
+  // the cursor hands indices out in order, so the recorded chunks are a
+  // prefix of frontier order containing every edge up to the sequential
+  // throw point — the raised error stays byte-identical while the
+  // overshoot past the cap stays bounded by the chunks in flight.
+  const std::function<void(int)> expand = [&](int worker) {
+    WorkerScratch& sc = scratch[static_cast<std::size_t>(worker)];
+    std::deque<PendingState>* pend =
+        &pending[static_cast<std::size_t>(worker)];
+    for (;;) {
+      // Bail only once at least one discovery is parked: the merge throws
+      // the cap error at a *pending* ref, so with zero discoveries it must
+      // run (and return normally) exactly like the sequential loop does —
+      // even when max_states is 0 and the initial state already "exceeds"
+      // it.
+      const std::size_t parked_now = parked.load(std::memory_order_relaxed);
+      if (parked_now > 0 && states_.size() + parked_now > opts.max_states)
+        return;
+      const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      ChunkOut& out = chunks[c];
+      const std::size_t begin = level_begin + c * chunk_size;
+      const std::size_t end = std::min(begin + chunk_size, level_end);
+      for (std::size_t s = begin; s < end; ++s) {
+        const Marking& marking = states_[s].marking;
+        stg.enabled_transitions(marking, &sc.enabled);
+        out.degree.push_back(static_cast<int>(sc.enabled.size()));
+        for (int t : sc.enabled) {
+          out.trans.push_back(t);
+          try {
+            stg.fire_into(marking, t, &sc.next);
+          } catch (const SpecError& e) {
+            out.fire_errors.push_back(e.what());
+            out.succ.push_back(kFireErrorRef);
+            continue;
+          }
+          const std::size_t before = pend->size();
+          out.succ.push_back(table.find_or_insert(
+              sc.next, marking_hash(sc.next), worker, pend));
+          if (pend->size() != before)
+            parked.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+
+  while (level_begin < level_end) {
+    level_sizes_.push_back(static_cast<int>(level_end - level_begin));
+    const std::size_t width = level_end - level_begin;
+    chunk_size = std::max<std::size_t>(
+        32, (width + 4 * static_cast<std::size_t>(threads) - 1) /
+                (4 * static_cast<std::size_t>(threads)));
+    num_chunks = (width + chunk_size - 1) / chunk_size;
+    if (chunks.size() < num_chunks) chunks.resize(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) chunks[c].reset();
+    cursor.store(0, std::memory_order_relaxed);
+    parked.store(0, std::memory_order_relaxed);
+    if (num_chunks > 1) {
+      if (!pool) pool.emplace(threads);
+      pool->run(expand);
+    } else {
+      expand(0);
+    }
+
+    // Merge (single-threaded): walk the chunks in frontier order and every
+    // recorded edge in firing order, replaying exactly the per-edge checks
+    // of the sequential loop — v0 constraint, fire error, state cap,
+    // switching-parity agreement — and assigning ids to first-in-order
+    // discoveries. This is where determinism is manufactured: the insert
+    // race decides only who parked the marking, never its id.
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      ChunkOut& out = chunks[c];
+      const std::size_t begin = level_begin + c * chunk_size;
+      std::size_t ei = 0;
+      for (std::size_t k = 0; k < out.degree.size(); ++k) {
+        out_row_.push_back(static_cast<int>(edge_transition_.size()));
+        const std::uint64_t par = parity[begin + k];
+        for (int j = 0; j < out.degree[k]; ++j, ++ei) {
+          const int t = out.trans[ei];
+          const Ref ref = out.succ[ei];
+          const std::uint64_t next_par =
+              apply_edge_parity(stg, t, par, v0_out);
+          if (ref == kFireErrorRef) throw SpecError(out.fire_errors.front());
+          int succ_id;
+          if (ref >= 0) {
+            succ_id = static_cast<int>(ref);
+            if (parity[succ_id] != next_par)
+              throw SpecError("STG '" + stg.name() +
+                              "' is inconsistent: switching parity differs "
+                              "between paths to the same marking");
+          } else {
+            PendingState& p = pending[static_cast<std::size_t>(
+                pending_worker(ref))][pending_index(ref)];
+            if (p.final_id < 0) {
+              if (states_.size() >= opts.max_states)
+                throw SpecError("state graph of '" + stg.name() +
+                                "' exceeds " +
+                                std::to_string(opts.max_states) + " states");
+              p.final_id = static_cast<int>(states_.size());
+              table.finalize(p, ref, p.final_id);
+              states_.push_back(SgState{std::move(p.marking), 0});
+              parity.push_back(next_par);
+            } else if (parity[p.final_id] != next_par) {
+              throw SpecError("STG '" + stg.name() +
+                              "' is inconsistent: switching parity differs "
+                              "between paths to the same marking");
+            }
+            succ_id = p.final_id;
+          }
+          edge_transition_.push_back(t);
+          edge_successor_.push_back(succ_id);
+        }
+      }
+    }
+    for (auto& pend : pending) pend.clear();
+    level_begin = level_end;
+    level_end = states_.size();
+  }
+  out_row_.push_back(static_cast<int>(edge_transition_.size()));
 }
 
 void StateGraph::build_reverse_csr() {

@@ -17,6 +17,7 @@
 // and pointer chase the seed representation paid on each of them.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -31,6 +32,12 @@ struct SgOptions {
   /// report runaway specs per item instead of aborting a whole corpus, so
   /// the check must stay cheap and exact.
   std::size_t max_states = std::size_t{1} << 20;
+  /// Worker threads for the level-synchronous parallel exploration; 1 keeps
+  /// the sequential loop, 0 picks hardware concurrency. Any value yields a
+  /// byte-identical graph (ids, CSR order, errors) — see build(). Batch
+  /// drivers split cores between corpus-level parallelism (their own pool)
+  /// and this graph-level setting.
+  int threads = 1;
 };
 
 struct SgState {
@@ -87,6 +94,15 @@ class StateGraph {
   /// an open-addressed table, firing reuses scratch buffers, and the BFS
   /// emits edges in CSR order directly, so cost is ~O(edges) with no
   /// per-edge heap allocation (see stategraph.cpp).
+  ///
+  /// With `opts.threads > 1` exploration is level-synchronous: each BFS
+  /// round partitions the frontier across a persistent worker pool, workers
+  /// expand into per-chunk discovery buffers against a shared striped
+  /// visited table, and a sequential merge assigns ids in
+  /// (parent-id, transition-index) order — the exact order the sequential
+  /// loop discovers states in. State numbering, CSR layout, golden JSON and
+  /// every error (which one fires and its message) are therefore
+  /// byte-identical at any thread count.
   static StateGraph build(const Stg& stg, const SgOptions& opts = {});
 
   const Stg& stg() const { return stg_; }
@@ -170,6 +186,19 @@ class StateGraph {
     return old_state_.empty() ? state : old_state_[state];
   }
 
+  /// BFS level sizes from construction: level_sizes()[d] states at distance
+  /// d from the initial state. Identical for sequential and parallel builds
+  /// (the levels are a property of the graph, not the schedule). Empty for
+  /// graphs produced by filtered().
+  const std::vector<int>& level_sizes() const { return level_sizes_; }
+  int num_levels() const { return static_cast<int>(level_sizes_.size()); }
+  /// Widest BFS frontier — the available graph-level parallelism.
+  int peak_frontier() const {
+    int peak = 0;
+    for (int n : level_sizes_) peak = std::max(peak, n);
+    return peak;
+  }
+
  private:
   Stg stg_;
   std::vector<SgState> states_;
@@ -186,6 +215,16 @@ class StateGraph {
   /// Per-state bitmask over signals: some s+/s- enabled here or reachable
   /// through silent transitions alone.
   std::vector<std::uint64_t> excited_rise_, excited_fall_;
+  std::vector<int> level_sizes_;  ///< BFS frontier size per level (build only)
+
+  // Exploration phase of build(): fill states_/out CSR/level_sizes_ and the
+  // per-state switching parities; v0 accumulates initial-value constraints.
+  void explore_sequential(const SgOptions& opts,
+                          std::vector<std::uint64_t>* parity,
+                          std::vector<signed char>* v0);
+  void explore_parallel(const SgOptions& opts, int threads,
+                        std::vector<std::uint64_t>* parity,
+                        std::vector<signed char>* v0);
 
   void build_reverse_csr();
   void compute_excitation();

@@ -1,0 +1,106 @@
+#include "util/workpool.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rtcad {
+
+struct WorkPool::Impl {
+  std::mutex mu;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  const std::function<void(int)>* job = nullptr;  ///< valid for one generation
+  std::uint64_t generation = 0;
+  int running = 0;
+  bool stopping = false;
+  std::exception_ptr error;
+  std::vector<std::thread> threads;
+
+  void worker_loop(int worker) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* my_job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        start_cv.wait(lock,
+                      [&] { return stopping || generation != seen; });
+        if (stopping) return;
+        seen = generation;
+        my_job = job;
+      }
+      try {
+        (*my_job)(worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--running == 0) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+int WorkPool::effective_threads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+WorkPool::WorkPool(int threads) : impl_(new Impl) {
+  const int n = effective_threads(threads);
+  impl_->threads.reserve(static_cast<std::size_t>(n - 1));
+  for (int w = 1; w < n; ++w)
+    impl_->threads.emplace_back([this, w] { impl_->worker_loop(w); });
+}
+
+WorkPool::~WorkPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->start_cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+}
+
+int WorkPool::size() const {
+  return static_cast<int>(impl_->threads.size()) + 1;
+}
+
+void WorkPool::run(const std::function<void(int worker)>& job) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    RTCAD_EXPECTS(impl_->running == 0);  // run() is not reentrant
+    impl_->job = &job;
+    impl_->error = nullptr;
+    impl_->running = static_cast<int>(impl_->threads.size());
+    ++impl_->generation;
+  }
+  impl_->start_cv.notify_all();
+
+  try {
+    job(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!impl_->error) impl_->error = std::current_exception();
+  }
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] { return impl_->running == 0; });
+    impl_->job = nullptr;
+    error = impl_->error;
+    impl_->error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace rtcad

@@ -1,15 +1,22 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Regenerate the specs/ corpus golden JSON.
 #
-#   tools/gen_golden.sh [output.json]
+#   tools/gen_golden.sh [output.json] [sg-threads]
 #
 # Re-exports the built-in builder specs into specs/ (so the checked-in .g
 # files can never drift from the builders), then runs rtflow_cli over the
 # whole specs/*.g glob and writes the canonical JSON (default:
-# specs/golden.json). CI runs this into a temp file and byte-compares it
-# against the checked-in golden; any behaviour change in the flow must come
-# with a regenerated golden in the same commit.
-set -eu
+# specs/golden.json). The second argument sets --sg-threads for the
+# graph-level parallel builder (default 1); the output must be byte-
+# identical at every value — CI's determinism matrix runs this at 1, 2 and
+# 8 and compares all three against the checked-in golden. Any behaviour
+# change in the flow must come with a regenerated golden in the same
+# commit.
+#
+# The output is written atomically (temp file + rename): if rtflow_cli is
+# missing, crashes, or rejects a spec, the script fails loudly and never
+# leaves a truncated or half-written golden behind.
+set -euo pipefail
 LC_ALL=C
 export LC_ALL
 
@@ -17,13 +24,18 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 CLI="$BUILD_DIR/rtflow_cli"
 OUT=${1:-specs/golden.json}
+SG_THREADS=${2:-1}
 
 if [ ! -x "$CLI" ]; then
-  echo "gen_golden.sh: $CLI not built (set BUILD_DIR or build first)" >&2
+  echo "gen_golden.sh: ERROR: $CLI not built or not executable" >&2
+  echo "gen_golden.sh: build first (cmake --build $BUILD_DIR) or set BUILD_DIR" >&2
   exit 1
 fi
 
-"$CLI" --export-specs specs
+if ! "$CLI" --export-specs specs; then
+  echo "gen_golden.sh: ERROR: spec export failed; specs/ may be stale" >&2
+  exit 1
+fi
 
 set -- specs/*.g
 args=""
@@ -31,6 +43,18 @@ for f in "$@"; do
   args="$args --spec $f"
 done
 
+# Same directory as the output so the final mv is an atomic rename.
+TMP=$(mktemp "$OUT.tmp.XXXXXX")
+trap 'rm -f "$TMP"' EXIT
+
 # shellcheck disable=SC2086  # word-splitting of $args is intentional
-"$CLI" $args --mode rt --threads 4 --out "$OUT"
-echo "gen_golden.sh: wrote $OUT ($# specs)"
+if ! "$CLI" $args --mode rt --threads 4 --sg-threads "$SG_THREADS" \
+    --out "$TMP"; then
+  echo "gen_golden.sh: ERROR: rtflow_cli failed (a spec failed to parse or" >&2
+  echo "gen_golden.sh: the flow rejected it); not writing $OUT" >&2
+  exit 1
+fi
+
+mv "$TMP" "$OUT"
+trap - EXIT
+echo "gen_golden.sh: wrote $OUT ($# specs, sg-threads=$SG_THREADS)"

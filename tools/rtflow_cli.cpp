@@ -38,7 +38,12 @@ int usage(const char* argv0, int code) {
       "  --max-states N       per-spec reachability cap (default 2^20)\n"
       "\n"
       "execution / output:\n"
-      "  --threads N          worker threads (default: hardware concurrency)\n"
+      "  --threads N          corpus-level worker threads (default: hardware\n"
+      "                       concurrency; specs run in parallel)\n"
+      "  --sg-threads N       graph-level worker threads inside each state-\n"
+      "                       graph build (default 1; 0 = hardware\n"
+      "                       concurrency). Output is byte-identical at any\n"
+      "                       value; cores are split between the two levels\n"
       "  --timings            include wall-clock times in the JSON\n"
       "  --out FILE           write JSON to FILE instead of stdout\n"
       "  --list               print corpus names and exit\n"
@@ -145,6 +150,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: --threads must be >= 1\n", argv[0]);
         return 2;
       }
+    } else if (!std::strcmp(arg, "--sg-threads")) {
+      // 0 is a legal value (auto), so atoi's garbage-to-0 would silently
+      // accept typos; parse strictly instead.
+      const char* val = need_value(i);
+      char* end = nullptr;
+      const long n = std::strtol(val, &end, 10);
+      if (end == val || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "%s: --sg-threads must be a number >= 0\n",
+                     argv[0]);
+        return 2;
+      }
+      file_opts.sg.threads = static_cast<int>(n);
     } else if (!std::strcmp(arg, "--timings")) {
       timings = true;
     } else if (!std::strcmp(arg, "--out")) {
@@ -164,7 +181,7 @@ int main(int argc, char** argv) {
   std::vector<BatchSpec> corpus;
   if (use_builtin || spec_files.empty()) {
     corpus = builtin_corpus(pipeline_stages);
-    // Built-ins default their max-states cap to the user's request too.
+    // Built-ins take the user's reachability settings (cap + sg-threads) too.
     for (auto& item : corpus) item.opts.sg = file_opts.sg;
   }
   for (auto& item : load_corpus_files(spec_files, file_opts))
