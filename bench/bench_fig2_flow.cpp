@@ -15,8 +15,10 @@
 #include "flow/rtflow.hpp"
 #include "rt/generate.hpp"
 #include "rt/reduce.hpp"
+#include "sg/encode.hpp"
 #include "sg/stategraph.hpp"
 #include "stg/builders.hpp"
+#include "stg/parse.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -151,6 +153,38 @@ int main() {
     // replica does reachability only, so the comparison favors the seed.
   }
 
+  // --- CSC candidate search: sequential vs 8-way candidate evaluation -----
+  // The third parallel subsystem. solve_csc rebuilds a full state graph per
+  // trigger pair; with candidate-level workers the search must stay
+  // byte-identical (same inserted signal, same log) while the wall clock
+  // drops on multicore machines.
+  double csc_ms = 0, csc_t8_ms = 0;
+  std::string csc_spec_name;
+  {
+    const Stg spec = vme_stg();  // classic CSC benchmark: a real search
+    csc_spec_name = spec.name();
+    EncodeOptions e1;
+    EncodeOptions e8;
+    e8.threads = 8;
+    EncodeResult r1, r8;
+    csc_ms = best_of_ms(3, [&] { r1 = solve_csc(spec, e1); });
+    csc_t8_ms = best_of_ms(3, [&] { r8 = solve_csc(spec, e8); });
+    int evaluated = 0;
+    for (const EncodeRoundStats& r : r1.rounds) evaluated += r.candidates;
+    std::printf(
+        "\nCSC candidate search, %s (%d candidates evaluated, %d signal(s) "
+        "inserted):\n"
+        "  search (1 thread):  %8.2f ms\n"
+        "  search (8 threads): %8.2f ms (%.2fx, identical result)\n",
+        spec.name().c_str(), evaluated, r1.signals_added, csc_ms, csc_t8_ms,
+        csc_ms / csc_t8_ms);
+    if (r1.solved != r8.solved || r1.signals_added != r8.signals_added ||
+        write_stg(r1.stg) != write_stg(r8.stg) || r1.log != r8.log) {
+      std::printf("CSC search result differs between 1 and 8 threads\n");
+      all_ok = false;
+    }
+  }
+
   // --- whole hot path on the largest built-in spec: build + verify + ------
   // --- reduce, every phase an edge traversal over the CSR arrays ----------
   {
@@ -199,12 +233,16 @@ int main() {
     std::printf(
         "BENCH_JSON: {\"name\": \"pipeline%d\", \"states\": %d, "
         "\"edges\": %d, \"build_us\": %lld, \"build_t8_us\": %lld, "
-        "\"verify_us\": %lld, \"reduce_us\": %lld, \"ns_per_edge\": %lld}\n",
+        "\"verify_us\": %lld, \"reduce_us\": %lld, "
+        "\"csc_spec\": \"%s\", \"csc_us\": %lld, "
+        "\"csc_t8_us\": %lld, \"ns_per_edge\": %lld}\n",
         stages, sg.num_states(), sg.num_edges(),
         static_cast<long long>(build_ms * 1000 + 0.5),
         static_cast<long long>(build_t8_ms * 1000 + 0.5),
         static_cast<long long>(verify_ms * 1000 + 0.5),
-        static_cast<long long>(reduce_ms * 1000 + 0.5), ns_per_edge);
+        static_cast<long long>(reduce_ms * 1000 + 0.5), csc_spec_name.c_str(),
+        static_cast<long long>(csc_ms * 1000 + 0.5),
+        static_cast<long long>(csc_t8_ms * 1000 + 0.5), ns_per_edge);
     if (reduced_states <= 0 || reduced_states > sg.num_states()) {
       std::printf("reduce produced an implausible state count\n");
       all_ok = false;

@@ -1,0 +1,23 @@
+# Port of the classic SIS/petrify `master-read` benchmark (bus-master read
+# cycle), reduced to the five-signal core handshake: the processor request
+# dsr opens the address latch (al) and the data strobe (lds), the device
+# answers with dtack, the master latches the datum (d) and retires the
+# cycle. The address-latch release and the data-latch release run
+# concurrently after dtack falls (the fork/join that gives the benchmark
+# its concurrency).
+.model master_read
+.inputs dsr dtack
+.outputs al lds d
+.graph
+dsr+ al+
+al+ lds+
+lds+ dtack+
+dtack+ d+
+d+ dsr-
+dsr- lds-
+lds- dtack-
+dtack- al- d-
+al- dsr+
+d- dsr+
+.marking { <al-,dsr+> <d-,dsr+> }
+.end

@@ -1,0 +1,32 @@
+# Port of the classic SIS/petrify `mmu` benchmark (memory-management-unit
+# controller): a virtual-address request starts a TLB lookup whose outcome
+# — hit or miss — is the environment's free input choice. A hit answers
+# immediately; a miss walks memory through a full mr/ma handshake before
+# answering. Both branches share the done/vr retirement shape, so several
+# signals carry two transition instances per edge.
+.model mmu
+.inputs vr hit miss ma
+.outputs mr va done
+.graph
+vr+ va+
+va+ tlb
+tlb hit+ miss+
+hit+ done+/1
+done+/1 vr-/1
+vr-/1 hit-
+hit- va-/1
+va-/1 done-/1
+done-/1 idle
+miss+ mr+
+mr+ ma+
+ma+ mr-
+mr- ma-
+ma- done+/2
+done+/2 vr-/2
+vr-/2 miss-
+miss- va-/2
+va-/2 done-/2
+done-/2 idle
+idle vr+
+.marking { idle }
+.end

@@ -1,0 +1,28 @@
+# Port of the classic SIS/petrify `nak-pa` benchmark (negative
+# acknowledgement): a request either completes with a positive
+# acknowledgement (rdy -> pa) or is refused (to -> nak) when the resource
+# times out. The branch is the environment's free choice between two input
+# transitions — legal input nondeterminism, no output choice — and either
+# branch releases the address-build signal adbld before the next request.
+.model nak_pa
+.inputs pr rdy to
+.outputs pa nak adbld
+.graph
+pr+ adbld+
+adbld+ sel
+sel rdy+ to+
+rdy+ pa+
+pa+ pr-/1
+pr-/1 rdy-
+rdy- pa-
+pa- adbld-/1
+adbld-/1 done
+to+ nak+
+nak+ pr-/2
+pr-/2 to-
+to- nak-
+nak- adbld-/2
+adbld-/2 done
+done pr+
+.marking { done }
+.end

@@ -1,0 +1,21 @@
+# Port of the classic SIS/petrify `sbuf-ram-write` benchmark (send-buffer
+# RAM write control): a write request precharges the array (prbar), pulses
+# the write enable (wen) until the RAM reports done, then acknowledges.
+# The precharge release and the acknowledgement race after wen falls; the
+# join before ack- closes the cycle.
+.model sbuf_ram_write
+.inputs req done
+.outputs prbar wen ack
+.graph
+req+ prbar+
+prbar+ wen+
+wen+ done+
+done+ wen-
+wen- prbar- ack+
+ack+ req-
+req- done-
+prbar- ack-
+done- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

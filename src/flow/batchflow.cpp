@@ -1,7 +1,6 @@
 #include "flow/batchflow.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 
@@ -61,16 +60,12 @@ BatchResult run_batch(const std::vector<BatchSpec>& corpus,
   const std::size_t workers = std::max<std::size_t>(
       1, std::min(requested, corpus.size()));
 
-  // Work-stealing by atomic cursor: items are claimed in corpus order and
-  // written to their own slot, so aggregation is independent of scheduling.
-  std::atomic<std::size_t> cursor{0};
+  // Work-stealing by atomic cursor (WorkPool::for_each_index): items are
+  // claimed in corpus order and written to their own slot, so aggregation
+  // is independent of scheduling.
   WorkPool pool(static_cast<int>(workers));
-  pool.run([&corpus, &result, &cursor](int) {
-    for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= corpus.size()) return;
-      result.items[i] = run_one(corpus[i]);
-    }
+  pool.for_each_index(corpus.size(), [&corpus, &result](std::size_t i) {
+    result.items[i] = run_one(corpus[i]);
   });
 
   for (const auto& item : result.items) {

@@ -13,6 +13,18 @@
 //     rest of the batch.
 //  3. Bounded memory. Items keep flow statistics and stage logs, not the
 //     synthesized netlists, so corpora can grow to thousands of specs.
+//
+// Thread-budget composition: three independent, individually deterministic
+// levels share the machine — corpus-level workers (BatchOptions::threads,
+// this engine), graph-level workers inside each state-graph build
+// (FlowOptions::sg.threads), and candidate-level workers inside the CSC
+// search and the ring-environment assumption rounds
+// (FlowOptions::encode.threads / rt.generate.threads). Total concurrency
+// is the product, so drivers split the core budget: many small specs want
+// the budget at corpus level, one huge spec wants it at graph/candidate
+// level. The CSC solver itself guards the worst nesting (candidate workers
+// force graph-level builds sequential), and because every level is
+// deterministic, any split yields byte-identical JSON.
 #pragma once
 
 #include <cstddef>

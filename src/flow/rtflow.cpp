@@ -12,6 +12,19 @@ void stage(FlowResult* r, const std::string& name, const std::string& detail) {
   r->stages.push_back(FlowStage{name, detail});
 }
 
+/// Per-round candidate-search statistics as "evaluated/feasible" pairs,
+/// e.g. "56/12, 90/3". Schedule-independent (the candidate set and each
+/// candidate's score depend only on the spec), so safe inside the
+/// canonical golden-diffed JSON at any --csc-threads value.
+std::string candidate_stats(const EncodeResult& enc) {
+  std::string s;
+  for (const EncodeRoundStats& r : enc.rounds) {
+    if (!s.empty()) s += ", ";
+    s += strprintf("%d/%d", r.candidates, r.feasible);
+  }
+  return s.empty() ? "none" : s;
+}
+
 }  // namespace
 
 FlowResult run_flow(const Stg& input_spec, const FlowOptions& opts) {
@@ -24,10 +37,15 @@ FlowResult run_flow(const Stg& input_spec, const FlowOptions& opts) {
                   result.spec.num_places()));
 
   // The CSC solver rebuilds candidate graphs; it must respect the stricter
-  // of its own cap and the flow-wide one (both are safety bounds).
+  // of its own cap and the flow-wide one (both are safety bounds). The
+  // graph-level thread setting is flow-wide by contract (FlowOptions::sg
+  // governs every build in the flow), so it overrides the encode-local
+  // one here; it only reaches the solver's per-round builds — candidate
+  // builds are unconditionally sequential inside solve_csc.
   EncodeOptions encode_opts = opts.encode;
   encode_opts.sg.max_states =
       std::min(opts.encode.sg.max_states, opts.sg.max_states);
+  encode_opts.sg.threads = opts.sg.threads;
 
   StateGraph sg = StateGraph::build(result.spec, opts.sg);
   result.states = sg.num_states();
@@ -101,8 +119,10 @@ FlowResult run_flow(const Stg& input_spec, const FlowOptions& opts) {
         result.state_signals_added = enc.signals_added;
         sg = StateGraph::build(result.spec, opts.sg);
         stage(&result, "state encoding",
-              strprintf("inserted %d state signal(s); %d states",
-                        enc.signals_added, sg.num_states()));
+              strprintf("inserted %d state signal(s); %d states; "
+                        "candidates evaluated/feasible per round: %s",
+                        enc.signals_added, sg.num_states(),
+                        candidate_stats(enc).c_str()));
       }
     } else {
       const EncodeResult enc = solve_csc(result.spec, encode_opts);
@@ -113,8 +133,10 @@ FlowResult run_flow(const Stg& input_spec, const FlowOptions& opts) {
       result.state_signals_added = enc.signals_added;
       sg = StateGraph::build(result.spec, opts.sg);
       stage(&result, "state encoding",
-            strprintf("inserted %d state signal(s); %d states",
-                      enc.signals_added, sg.num_states()));
+            strprintf("inserted %d state signal(s); %d states; "
+                      "candidates evaluated/feasible per round: %s",
+                      enc.signals_added, sg.num_states(),
+                      candidate_stats(enc).c_str()));
     }
   }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "rt/reduce.hpp"
+#include "util/workpool.hpp"
 
 namespace rtcad {
 namespace {
@@ -173,6 +174,15 @@ std::vector<RtAssumption> generate_assumptions(const StateGraph& sg,
   for (const Edge& e : all_edges) {
     if (stg.is_input(e.signal)) input_edges.push_back(e);
   }
+  // Pending-age evaluation is the expensive part of a refinement round: one
+  // multi-source BFS over the reduced graph per input edge, all independent
+  // (pending_ages only reads the two const graphs and allocates its own
+  // scratch). Workers claim edges by atomic cursor and write into private
+  // `ages` slots, so the result — and every assumption emitted from it —
+  // is identical at any thread count. One pool serves every round.
+  WorkPool age_pool(std::min<int>(
+      WorkPool::effective_threads(opts.threads),
+      std::max<int>(1, static_cast<int>(input_edges.size()))));
   // One validation per refinement step, plus a final one after the loop:
   // every extension (including the cycle-start batch and a last round cut
   // off by the round cap) is reduced and rolled back on deadlock before
@@ -196,8 +206,9 @@ std::vector<RtAssumption> generate_assumptions(const StateGraph& sg,
     stable_validated = true;
 
     std::vector<std::vector<int>> ages(input_edges.size());
-    for (std::size_t i = 0; i < input_edges.size(); ++i)
+    age_pool.for_each_index(input_edges.size(), [&](std::size_t i) {
       ages[i] = pending_ages(red.sg, sg, input_edges[i]);
+    });
 
     // Minimum pending-age advantage per racing pair, again in one sweep.
     const std::size_t n_in = input_edges.size();

@@ -56,6 +56,13 @@ struct GenerateOptions {
   /// Cap on generate/reduce refinement rounds (each round must add at
   /// least one assumption to continue, so this rarely binds).
   int max_refinement_rounds = 6;
+  /// Worker threads for ring-environment round evaluation — the per-input-
+  /// edge pending-age BFS sweeps that dominate a refinement round: 1 keeps
+  /// the sequential loop, 0 picks hardware concurrency. The returned
+  /// assumption set is byte-identical at any value: each edge's ages fill
+  /// a private slot and every emission decision below runs sequentially in
+  /// edge-index order.
+  int threads = 1;
 };
 
 /// Scan the state graph for racing edge pairs and emit ordering

@@ -10,6 +10,12 @@
 // signal transitions serialize the fewest states (a proxy for staying off
 // the critical path, so that relative-timing laziness can later remove them
 // from it entirely).
+//
+// Candidate evaluation is parallel (EncodeOptions::threads): workers score
+// candidates independently on private scratch graphs, and a sequential
+// merge replays the selection in enumeration order, so the chosen signal,
+// the inserted STG, the log, and any error are byte-identical at every
+// thread count — the same contract as the parallel state-graph builder.
 #pragma once
 
 #include <string>
@@ -24,6 +30,24 @@ struct EncodeOptions {
   int max_state_signals = 3;
   bool timing_aware = true;
   SgOptions sg;
+  /// Worker threads for the candidate trigger-pair search: 1 keeps the
+  /// sequential loop, 0 picks hardware concurrency. Any value yields a
+  /// byte-identical result — workers only fill per-candidate scores on
+  /// their own scratch graphs, and a sequential merge replays the
+  /// keep/tie-break decisions in enumeration order (see solve_csc). The
+  /// per-candidate graph builds always run with `sg.threads` forced to 1:
+  /// with candidate workers the core budget is already spent, and without
+  /// them candidate graphs are too small to amortize a per-build pool.
+  /// `sg.threads` still applies to the per-round build of the accepted
+  /// spec.
+  int threads = 1;
+};
+
+/// Schedule-independent statistics for one round of the candidate search.
+struct EncodeRoundStats {
+  int candidates = 0;  ///< trigger pairs evaluated (built + scored)
+  int feasible = 0;    ///< consistent, hazard-free, strictly fewer conflicts
+  bool operator==(const EncodeRoundStats&) const = default;
 };
 
 struct EncodeResult {
@@ -31,6 +55,9 @@ struct EncodeResult {
   int signals_added = 0;
   bool solved = false;    ///< all CSC conflicts resolved
   std::vector<std::string> log;
+  /// One entry per round that ran a candidate search (the final round that
+  /// certifies CSC, and a round cut off by `max_state_signals`, add none).
+  std::vector<EncodeRoundStats> rounds;
 };
 
 /// Insert state signal `name` with x+ after transition `rise_trigger` and

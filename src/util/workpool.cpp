@@ -1,5 +1,6 @@
 #include "util/workpool.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -101,6 +102,20 @@ void WorkPool::run(const std::function<void(int worker)>& job) {
     impl_->error = nullptr;
   }
   if (error) std::rethrow_exception(error);
+}
+
+void WorkPool::for_each_index(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  // Relaxed order suffices: the cursor only hands out indices, and run()'s
+  // completion barrier publishes every slot write to the caller.
+  std::atomic<std::size_t> cursor{0};
+  run([&](int) {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      body(i);
+    }
+  });
 }
 
 }  // namespace rtcad

@@ -9,6 +9,7 @@
 // share one code path with zero threading overhead at size 1.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 
@@ -31,6 +32,16 @@ class WorkPool {
   /// pool stays usable). Jobs partition their own work (typically by an
   /// atomic cursor over chunks); the pool only provides the threads.
   void run(const std::function<void(int worker)>& job);
+
+  /// Partition the index range [0, n) across the pool: workers claim
+  /// indices by atomic cursor (in index order) and `body(i)` runs exactly
+  /// once per index. This is the shared work-claiming idiom of every
+  /// parallel engine in the repo — batch items, CSC candidates, pending-age
+  /// sweeps. Determinism is the caller's contract: write only to slot `i`
+  /// and do any order-sensitive merging sequentially afterwards. Blocks
+  /// until done; exceptions propagate as in run().
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t i)>& body);
 
   /// Effective worker count for a request: `threads` if positive, else
   /// hardware concurrency (never less than 1).

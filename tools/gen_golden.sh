@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
 # Regenerate the specs/ corpus golden JSON.
 #
-#   tools/gen_golden.sh [output.json] [sg-threads]
+#   tools/gen_golden.sh [output.json] [sg-threads] [csc-threads]
 #
 # Re-exports the built-in builder specs into specs/ (so the checked-in .g
 # files can never drift from the builders), then runs rtflow_cli over the
 # whole specs/*.g glob and writes the canonical JSON (default:
 # specs/golden.json). The second argument sets --sg-threads for the
-# graph-level parallel builder (default 1); the output must be byte-
-# identical at every value — CI's determinism matrix runs this at 1, 2 and
-# 8 and compares all three against the checked-in golden. Any behaviour
-# change in the flow must come with a regenerated golden in the same
-# commit.
+# graph-level parallel builder, the third --csc-threads for the
+# candidate-level CSC search and ring-environment rounds (both default 1);
+# the output must be byte-identical at every value — CI's determinism
+# matrix runs this across sg-threads × csc-threads in {1,2,8} and compares
+# every cell against the checked-in golden. Any behaviour change in the
+# flow must come with a regenerated golden in the same commit.
 #
 # The output is written atomically (temp file + rename): if rtflow_cli is
 # missing, crashes, or rejects a spec, the script fails loudly and never
@@ -25,6 +26,7 @@ BUILD_DIR=${BUILD_DIR:-build}
 CLI="$BUILD_DIR/rtflow_cli"
 OUT=${1:-specs/golden.json}
 SG_THREADS=${2:-1}
+CSC_THREADS=${3:-1}
 
 if [ ! -x "$CLI" ]; then
   echo "gen_golden.sh: ERROR: $CLI not built or not executable" >&2
@@ -49,7 +51,7 @@ trap 'rm -f "$TMP"' EXIT
 
 # shellcheck disable=SC2086  # word-splitting of $args is intentional
 if ! "$CLI" $args --mode rt --threads 4 --sg-threads "$SG_THREADS" \
-    --out "$TMP"; then
+    --csc-threads "$CSC_THREADS" --out "$TMP"; then
   echo "gen_golden.sh: ERROR: rtflow_cli failed (a spec failed to parse or" >&2
   echo "gen_golden.sh: the flow rejected it); not writing $OUT" >&2
   exit 1
@@ -57,4 +59,5 @@ fi
 
 mv "$TMP" "$OUT"
 trap - EXIT
-echo "gen_golden.sh: wrote $OUT ($# specs, sg-threads=$SG_THREADS)"
+echo "gen_golden.sh: wrote $OUT ($# specs, sg-threads=$SG_THREADS," \
+  "csc-threads=$CSC_THREADS)"

@@ -42,8 +42,15 @@ int usage(const char* argv0, int code) {
       "                       concurrency; specs run in parallel)\n"
       "  --sg-threads N       graph-level worker threads inside each state-\n"
       "                       graph build (default 1; 0 = hardware\n"
-      "                       concurrency). Output is byte-identical at any\n"
-      "                       value; cores are split between the two levels\n"
+      "                       concurrency)\n"
+      "  --csc-threads N      candidate-level worker threads inside the CSC\n"
+      "                       solver's trigger-pair search and the ring-\n"
+      "                       environment assumption rounds (default 1;\n"
+      "                       0 = hardware concurrency)\n"
+      "                       Output is byte-identical at any thread mixture;\n"
+      "                       total concurrency is the product of the levels,\n"
+      "                       so keep threads x sg/csc-threads near the core\n"
+      "                       count\n"
       "  --timings            include wall-clock times in the JSON\n"
       "  --out FILE           write JSON to FILE instead of stdout\n"
       "  --list               print corpus names and exit\n"
@@ -52,6 +59,16 @@ int usage(const char* argv0, int code) {
       "  --help               this text\n",
       argv0);
   return code;
+}
+
+/// Strict parse for thread-count options: 0 is a legal value (auto), so
+/// atoi's garbage-to-0 would silently accept typos.
+bool parse_thread_count(const char* val, int* out) {
+  char* end = nullptr;
+  const long n = std::strtol(val, &end, 10);
+  if (end == val || *end != '\0' || n < 0) return false;
+  *out = static_cast<int>(n);
+  return true;
 }
 
 /// Write the builder specs as `.g` files — the reproducible half of the
@@ -151,17 +168,22 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (!std::strcmp(arg, "--sg-threads")) {
-      // 0 is a legal value (auto), so atoi's garbage-to-0 would silently
-      // accept typos; parse strictly instead.
-      const char* val = need_value(i);
-      char* end = nullptr;
-      const long n = std::strtol(val, &end, 10);
-      if (end == val || *end != '\0' || n < 0) {
-        std::fprintf(stderr, "%s: --sg-threads must be a number >= 0\n",
-                     argv[0]);
+      int n = 0;
+      if (!parse_thread_count(need_value(i), &n)) {
+        std::fprintf(stderr, "%s: %s must be a number >= 0\n", argv[0], arg);
         return 2;
       }
-      file_opts.sg.threads = static_cast<int>(n);
+      file_opts.sg.threads = n;
+    } else if (!std::strcmp(arg, "--csc-threads")) {
+      // One knob for both per-candidate engines: the CSC trigger-pair
+      // search and the ring-environment pending-age rounds.
+      int n = 0;
+      if (!parse_thread_count(need_value(i), &n)) {
+        std::fprintf(stderr, "%s: %s must be a number >= 0\n", argv[0], arg);
+        return 2;
+      }
+      file_opts.encode.threads = n;
+      file_opts.rt.generate.threads = n;
     } else if (!std::strcmp(arg, "--timings")) {
       timings = true;
     } else if (!std::strcmp(arg, "--out")) {
@@ -181,8 +203,13 @@ int main(int argc, char** argv) {
   std::vector<BatchSpec> corpus;
   if (use_builtin || spec_files.empty()) {
     corpus = builtin_corpus(pipeline_stages);
-    // Built-ins take the user's reachability settings (cap + sg-threads) too.
-    for (auto& item : corpus) item.opts.sg = file_opts.sg;
+    // Built-ins take the user's reachability settings (cap + sg-threads)
+    // and the candidate-level thread budget too.
+    for (auto& item : corpus) {
+      item.opts.sg = file_opts.sg;
+      item.opts.encode.threads = file_opts.encode.threads;
+      item.opts.rt.generate.threads = file_opts.rt.generate.threads;
+    }
   }
   for (auto& item : load_corpus_files(spec_files, file_opts))
     corpus.push_back(std::move(item));
