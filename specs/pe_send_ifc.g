@@ -1,0 +1,23 @@
+# Port of the classic SIS/petrify `pe-send-ifc` benchmark (the
+# processing-element send interface of the post-office router), reduced
+# to its five-signal core: the PE raises a transfer request (treq), the
+# interface builds the address (adbld) and forwards the packet on the
+# network handshake (sreq/sack); the network's acknowledgement both
+# retires the network request and acknowledges the PE (tack), and the
+# two retirement threads rejoin before the address builder releases.
+.model pe_send_ifc
+.inputs treq sack
+.outputs adbld sreq tack
+.graph
+treq+ adbld+
+adbld+ sreq+
+sreq+ sack+
+sack+ tack+ sreq-
+sreq- sack-
+tack+ treq-
+treq- tack-
+sack- adbld-
+tack- adbld-
+adbld- treq+
+.marking { <adbld-,treq+> }
+.end

@@ -1,0 +1,25 @@
+# Port of the classic SIS/petrify `ram-read-sbuf` benchmark (RAM read
+# into the send buffer) — the read-side twin of `sbuf-ram-write`: a read
+# request precharges the array (prbar), raises the read enable (ren)
+# until the RAM reports valid data (dvalid), latches the word into the
+# send buffer (sbufld), then acknowledges. The precharge release and the
+# buffer-load release race after the enable falls; the join before ack+
+# closes the cycle.
+.model ram_read_sbuf
+.inputs req dvalid
+.outputs prbar ren sbufld ack
+.graph
+req+ prbar+
+prbar+ ren+
+ren+ dvalid+
+dvalid+ sbufld+
+sbufld+ ren-
+ren- dvalid-
+dvalid- prbar- sbufld-
+prbar- ack+
+sbufld- ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "flow/pipeline.hpp"
 #include "stg/builders.hpp"
 #include "stg/parse.hpp"
 #include "util/strings.hpp"
@@ -18,7 +19,10 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-BatchItemResult run_one(const BatchSpec& item) {
+/// One item through the staged pipeline. Failure isolation comes for
+/// free: FlowPipeline::run never throws for flow-level reasons, and its
+/// StageError already speaks the BatchDiagnostic vocabulary.
+BatchItemResult run_one(const BatchSpec& item, const FlowContext& ctx) {
   BatchItemResult r;
   r.name = item.name;
   if (item.load_error) {
@@ -26,8 +30,21 @@ BatchItemResult run_one(const BatchSpec& item) {
     return r;
   }
   const auto start = std::chrono::steady_clock::now();
-  try {
-    const FlowResult flow = run_flow(item.spec, item.opts);
+  r = to_batch_item(item.name,
+                    FlowPipeline::standard(item.opts.mode)
+                        .run(item.spec, item.opts, ctx));
+  r.wall_ms = ms_since(start);
+  return r;
+}
+
+}  // namespace
+
+BatchItemResult to_batch_item(const std::string& name,
+                              const PipelineResult& run) {
+  BatchItemResult r;
+  r.name = name;
+  if (run.ok()) {
+    const FlowResult& flow = run.flow;
     r.ok = true;
     r.states = flow.states;
     r.states_reduced = flow.states_reduced;
@@ -36,27 +53,27 @@ BatchItemResult run_one(const BatchSpec& item) {
     r.transistors = flow.netlist().transistor_count();
     r.constraints = flow.rt ? flow.rt->constraints.size() : 0;
     r.stages = flow.stages;
-  } catch (const ParseError& e) {
-    r.diagnostic = BatchDiagnostic{"parse", e.what()};
-  } catch (const Error& e) {
-    r.diagnostic = BatchDiagnostic{"spec", e.what()};
-  } catch (const std::exception& e) {
-    r.diagnostic = BatchDiagnostic{"internal", e.what()};
+  } else {
+    r.diagnostic = BatchDiagnostic{run.error->kind, run.error->message};
   }
-  r.wall_ms = ms_since(start);
   return r;
 }
 
-}  // namespace
-
 BatchResult run_batch(const std::vector<BatchSpec>& corpus,
                       const BatchOptions& opts) {
+  FlowContext ctx;
+  ctx.budget.corpus = opts.threads;
+  return run_batch(corpus, ctx);
+}
+
+BatchResult run_batch(const std::vector<BatchSpec>& corpus,
+                      const FlowContext& ctx) {
   const auto start = std::chrono::steady_clock::now();
   BatchResult result;
   result.items.resize(corpus.size());
 
-  const std::size_t requested =
-      static_cast<std::size_t>(WorkPool::effective_threads(opts.threads));
+  const std::size_t requested = static_cast<std::size_t>(
+      WorkPool::effective_threads(ctx.budget.corpus));
   const std::size_t workers = std::max<std::size_t>(
       1, std::min(requested, corpus.size()));
 
@@ -64,8 +81,8 @@ BatchResult run_batch(const std::vector<BatchSpec>& corpus,
   // claimed in corpus order and written to their own slot, so aggregation
   // is independent of scheduling.
   WorkPool pool(static_cast<int>(workers));
-  pool.for_each_index(corpus.size(), [&corpus, &result](std::size_t i) {
-    result.items[i] = run_one(corpus[i]);
+  pool.for_each_index(corpus.size(), [&corpus, &result, &ctx](std::size_t i) {
+    result.items[i] = run_one(corpus[i], ctx);
   });
 
   for (const auto& item : result.items) {
@@ -154,6 +171,39 @@ void append_json_string(std::string* out, const std::string& s) {
 
 }  // namespace
 
+std::string item_record_json(const BatchItemResult& item,
+                             bool include_timings) {
+  std::string out = "{\"name\": ";
+  append_json_string(&out, item.name);
+  out += strprintf(", \"ok\": %s", item.ok ? "true" : "false");
+  if (item.ok) {
+    out += strprintf(
+        ", \"states\": %d, \"states_reduced\": %d, \"state_signals\": %d, "
+        "\"literals\": %d, \"transistors\": %d, \"constraints\": %zu",
+        item.states, item.states_reduced, item.state_signals_added,
+        item.literals, item.transistors, item.constraints);
+    out += ", \"stages\": [";
+    for (std::size_t s = 0; s < item.stages.size(); ++s) {
+      if (s) out += ", ";
+      out += "{\"name\": ";
+      append_json_string(&out, item.stages[s].name);
+      out += ", \"detail\": ";
+      append_json_string(&out, item.stages[s].detail);
+      out += "}";
+    }
+    out += "]";
+  } else {
+    out += ", \"diagnostic\": {\"kind\": ";
+    append_json_string(&out, item.diagnostic.kind);
+    out += ", \"message\": ";
+    append_json_string(&out, item.diagnostic.message);
+    out += "}";
+  }
+  if (include_timings) out += ", \"wall_ms\": " + json_number(item.wall_ms);
+  out += "}";
+  return out;
+}
+
 std::string to_json(const BatchResult& result, bool include_timings) {
   std::string out = "{\n";
   out += strprintf("  \"corpus\": %zu,\n", result.items.size());
@@ -163,36 +213,8 @@ std::string to_json(const BatchResult& result, bool include_timings) {
     out += "  \"wall_ms\": " + json_number(result.wall_ms) + ",\n";
   out += "  \"items\": [\n";
   for (std::size_t i = 0; i < result.items.size(); ++i) {
-    const BatchItemResult& item = result.items[i];
-    out += "    {\"name\": ";
-    append_json_string(&out, item.name);
-    out += strprintf(", \"ok\": %s", item.ok ? "true" : "false");
-    if (item.ok) {
-      out += strprintf(
-          ", \"states\": %d, \"states_reduced\": %d, \"state_signals\": %d, "
-          "\"literals\": %d, \"transistors\": %d, \"constraints\": %zu",
-          item.states, item.states_reduced, item.state_signals_added,
-          item.literals, item.transistors, item.constraints);
-      out += ", \"stages\": [";
-      for (std::size_t s = 0; s < item.stages.size(); ++s) {
-        if (s) out += ", ";
-        out += "{\"name\": ";
-        append_json_string(&out, item.stages[s].name);
-        out += ", \"detail\": ";
-        append_json_string(&out, item.stages[s].detail);
-        out += "}";
-      }
-      out += "]";
-    } else {
-      out += ", \"diagnostic\": {\"kind\": ";
-      append_json_string(&out, item.diagnostic.kind);
-      out += ", \"message\": ";
-      append_json_string(&out, item.diagnostic.message);
-      out += "}";
-    }
-    if (include_timings)
-      out += ", \"wall_ms\": " + json_number(item.wall_ms);
-    out += i + 1 < result.items.size() ? "},\n" : "}\n";
+    out += "    " + item_record_json(result.items[i], include_timings);
+    out += i + 1 < result.items.size() ? ",\n" : "\n";
   }
   out += "  ]\n}\n";
   return out;

@@ -24,7 +24,10 @@
 // the budget at corpus level, one huge spec wants it at graph/candidate
 // level. The CSC solver itself guards the worst nesting (candidate workers
 // force graph-level builds sequential), and because every level is
-// deterministic, any split yields byte-identical JSON.
+// deterministic, any split yields byte-identical JSON. The single
+// arbitration point for all three levels is FlowContext::budget
+// (flow/context.hpp); the BatchOptions overload below is the
+// inherit-everything compatibility path.
 #pragma once
 
 #include <cstddef>
@@ -32,15 +35,18 @@
 #include <string>
 #include <vector>
 
+#include "flow/context.hpp"
+#include "flow/pipeline.hpp"
 #include "flow/rtflow.hpp"
 
 namespace rtcad {
 
 /// Structured per-spec failure. `kind` is one of:
-///   "parse"    — the input file could not be parsed;
-///   "spec"     — the flow rejected the specification (inconsistent STG,
-///                state overflow, CSC unsolvable, not persistent, ...);
-///   "internal" — anything else escaping the flow (a bug; still contained).
+///   "parse"     — the input file could not be parsed;
+///   "spec"      — the flow rejected the specification (inconsistent STG,
+///                 state overflow, CSC unsolvable, not persistent, ...);
+///   "cancelled" — the run's CancelToken fired before the item finished;
+///   "internal"  — anything else escaping the flow (a bug; still contained).
 struct BatchDiagnostic {
   std::string kind;
   std::string message;
@@ -85,8 +91,28 @@ struct BatchResult {
 };
 
 /// Run the flow over every corpus entry. Never throws for per-spec reasons.
+/// Compatibility wrapper: equivalent to the FlowContext overload with
+/// `budget.corpus = opts.threads` and graph/candidate levels inherited
+/// from each item's own FlowOptions.
 BatchResult run_batch(const std::vector<BatchSpec>& corpus,
                       const BatchOptions& opts = {});
+
+/// Staged-flow batch driver: every item runs through FlowPipeline under
+/// this one context — `ctx.budget` arbitrates all three thread levels
+/// (corpus pool size, and graph/candidate overrides inside every item's
+/// flow), and `ctx.cancel` is shared, so one token stops the whole batch
+/// at round granularity (items observing it fail with kind "cancelled";
+/// completed items keep their results).
+BatchResult run_batch(const std::vector<BatchSpec>& corpus,
+                      const FlowContext& ctx);
+
+/// Fold one finished pipeline run into the batch-item vocabulary: flow
+/// statistics kept, netlists dropped, a StageError mapped to the item's
+/// diagnostic. The single mapping shared by the batch engine and
+/// `rtflow_cli run`, so their JSON can never drift. `wall_ms` is the
+/// caller's to fill.
+BatchItemResult to_batch_item(const std::string& name,
+                              const PipelineResult& run);
 
 /// The built-in corpus: every `stg/builders` specification under the mode(s)
 /// it is meant for, plus handshake pipelines of 2..max_pipeline_stages
@@ -103,5 +129,12 @@ std::vector<BatchSpec> load_corpus_files(const std::vector<std::string>& paths,
 /// wall-clock times are added — useful for humans, excluded by default so
 /// outputs diff clean across runs and thread counts.
 std::string to_json(const BatchResult& result, bool include_timings = false);
+
+/// Canonical rendering of ONE item record — exactly the bytes to_json
+/// emits for the item, as a single-line JSON object. Shared with the
+/// shard writer (flow/shard.*) so a merged shard file reassembles to the
+/// byte-identical single-process batch JSON.
+std::string item_record_json(const BatchItemResult& item,
+                             bool include_timings = false);
 
 }  // namespace rtcad

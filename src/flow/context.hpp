@@ -1,0 +1,111 @@
+// FlowContext: the execution substrate of a staged flow run, separated
+// from the per-stage algorithm options (what to compute) which stay in
+// FlowOptions. One context drives one pipeline run — or a whole batch,
+// where every item shares the same budget and cancellation domain.
+//
+// It owns three things:
+//
+//  1. The three-level thread budget. The repo has three independent,
+//     individually deterministic levels of parallelism — corpus (batch
+//     items), graph (level-synchronous BFS inside one state-graph build),
+//     candidate (CSC trigger pairs / ring-environment sweeps). Before
+//     this context existed the knobs were scattered across
+//     BatchOptions::threads, SgOptions::threads, EncodeOptions::threads
+//     and GenerateOptions::threads; ThreadBudget is the single place a
+//     driver splits the machine, and the pipeline applies it to every
+//     stage consistently (see the arbitration rule on ThreadBudget).
+//
+//  2. The cancellation token, threaded into every stage and checked at
+//     BFS-round / CSC-round granularity (see util/cancel.hpp).
+//
+//  3. The trace vocabulary: structured per-stage records (StageTrace,
+//     with typed metrics and a per-stage error channel) that replace
+//     grepping ad-hoc detail strings. The legacy FlowStage{name, detail}
+//     lines are still rendered — they are part of the canonical JSON
+//     contract — but they are derived from the trace, not the other way
+//     around.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/cancel.hpp"
+
+namespace rtcad {
+
+/// The machine split across the three parallelism levels. Arbitration
+/// rule: a non-negative level OVERRIDES the corresponding scattered
+/// option everywhere in the flow (sg.threads, encode.threads,
+/// generate.threads); -1 inherits whatever the per-stage options say.
+/// The compatibility wrappers (`run_flow`, `run_batch(corpus, opts)`)
+/// use inherit-everything contexts, which is what keeps the redesign
+/// byte-identical to the old API. 0 means "hardware concurrency" at
+/// every level, as before.
+struct ThreadBudget {
+  int corpus = 0;     ///< batch items in flight (0 = hardware concurrency)
+  int graph = -1;     ///< workers inside one state-graph build
+  int candidate = -1; ///< workers in the CSC search / assumption rounds
+
+  /// Resolve one level against the scattered option it governs.
+  static int resolve(int level, int option_threads) {
+    return level >= 0 ? level : option_threads;
+  }
+};
+
+enum class StageStatus {
+  kOk,       ///< ran and produced its outputs
+  kSkipped,  ///< not needed for this spec (e.g. encode when CSC holds)
+  kFailed,   ///< raised an error (see StageTrace::error_*)
+};
+
+/// One typed statistic a stage reports (states, edges, conflicts,
+/// candidates, ...). Values are schedule-independent by the same contract
+/// that makes the JSON canonical.
+struct StageMetric {
+  std::string key;
+  long long value = 0;
+  bool operator==(const StageMetric&) const = default;
+};
+
+/// The deterministic per-stage error channel. `kind` uses the batch
+/// diagnostic vocabulary: "parse", "spec", "cancelled", "internal".
+struct StageError {
+  std::string stage;    ///< pipeline stage name that raised it
+  std::string kind;
+  std::string message;  ///< byte-identical to the legacy exception text
+};
+
+/// Structured record of one pipeline stage execution.
+struct StageTrace {
+  std::string stage;                 ///< pipeline stage name
+  StageStatus status = StageStatus::kOk;
+  std::vector<StageMetric> metrics;  ///< typed stats, stage-specific
+  std::string summary;               ///< one-line human description
+  std::string error_kind;            ///< set when status == kFailed
+  std::string error_message;
+  double wall_ms = 0;  ///< wall clock; never part of canonical output
+
+  long long metric(const std::string& key, long long missing = -1) const {
+    for (const StageMetric& m : metrics)
+      if (m.key == key) return m.value;
+    return missing;
+  }
+};
+
+/// Shared execution state for one flow (or batch) run. Plain aggregate:
+/// drivers fill the fields they care about and pass it by const
+/// reference; the default-constructed context reproduces the legacy
+/// behavior exactly (inherit thread options, no cancellation).
+struct FlowContext {
+  ThreadBudget budget;
+  /// Optional, not owned; must outlive the run. Shared by every stage of
+  /// every item driven under this context.
+  const CancelToken* cancel = nullptr;
+
+  bool cancelled() const { return cancel && cancel->cancelled(); }
+  void check_cancelled(const char* where) const {
+    if (cancel) cancel->check(where);
+  }
+};
+
+}  // namespace rtcad

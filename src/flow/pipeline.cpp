@@ -1,0 +1,398 @@
+#include "flow/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "rt/reduce.hpp"
+#include "util/strings.hpp"
+
+namespace rtcad {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Per-round candidate-search statistics as "evaluated/feasible" pairs,
+/// e.g. "56/12, 90/3". Schedule-independent (the candidate set and each
+/// candidate's score depend only on the spec), so safe inside the
+/// canonical golden-diffed JSON at any --csc-threads value.
+std::string candidate_stats(const EncodeResult& enc) {
+  std::string s;
+  for (const EncodeRoundStats& r : enc.rounds) {
+    if (!s.empty()) s += ", ";
+    s += strprintf("%d/%d", r.candidates, r.feasible);
+  }
+  return s.empty() ? "none" : s;
+}
+
+/// The blackboard every stage reads and writes. Options are the
+/// *effective* ones — the FlowContext's thread budget and cancel token
+/// already applied — so stage bodies look exactly like the historical
+/// monolithic driver.
+struct PipelineState {
+  FlowOptions opts;           ///< effective flow options
+  EncodeOptions encode_opts;  ///< derived: flow-wide cap + thread contract
+  FlowResult result;          ///< legacy result being assembled
+  std::optional<StateGraph> sg;
+  std::optional<SgAnalysis> analysis;
+  RtSynthOptions rt_opts;     ///< assumptions/overrides accumulate here
+  std::optional<ReduceResult> reduction;
+  bool reduction_from_encode = false;
+  bool assumptions_from_encode = false;
+};
+
+/// Append a legacy FlowStage line — still the canonical JSON vocabulary —
+/// and mirror it as the structured trace's summary when the trace has
+/// none yet (the first line of a stage is its headline).
+void legacy(PipelineState* st, StageTrace* trace, const std::string& name,
+            const std::string& detail) {
+  st->result.stages.push_back(FlowStage{name, detail});
+  if (trace->summary.empty()) trace->summary = detail;
+}
+
+void metric(StageTrace* trace, const char* key, long long value) {
+  trace->metrics.push_back(StageMetric{key, value});
+}
+
+// --- stage bodies -----------------------------------------------------------
+// Each body is the corresponding block of the historical run_flow, moved
+// verbatim: the golden corpus byte-diffs the equivalence.
+
+void stage_specification(const Stg& input, PipelineState* st,
+                         StageTrace* trace) {
+  st->result.spec = input;
+  st->result.spec.validate();
+  const Stg& spec = st->result.spec;
+  metric(trace, "signals", spec.num_signals());
+  metric(trace, "transitions", spec.num_transitions());
+  metric(trace, "places", spec.num_places());
+  legacy(st, trace, "specification",
+         strprintf("%d signals, %d transitions, %d places", spec.num_signals(),
+                   spec.num_transitions(), spec.num_places()));
+}
+
+void stage_reachability(PipelineState* st, StageTrace* trace) {
+  st->sg.emplace(StateGraph::build(st->result.spec, st->opts.sg));
+  StateGraph& sg = *st->sg;
+  st->result.states = sg.num_states();
+  st->analysis.emplace(analyze(sg));
+  const SgAnalysis& analysis = *st->analysis;
+  metric(trace, "states", sg.num_states());
+  metric(trace, "edges", sg.num_edges());
+  metric(trace, "levels", sg.num_levels());
+  metric(trace, "peak_frontier", sg.peak_frontier());
+  metric(trace, "persistency_violations",
+         static_cast<long long>(analysis.persistency.size()));
+  metric(trace, "csc_conflicts",
+         static_cast<long long>(analysis.csc_conflicts.size()));
+  // Level stats come from the builder's BFS and are a property of the graph,
+  // not of the schedule: identical at every sg.threads setting, so they are
+  // safe inside the canonical (golden-diffed) JSON.
+  legacy(st, trace, "reachability",
+         strprintf("%d states, %d edges, %d levels, peak frontier %d, "
+                   "%zu persistency violations, %zu CSC conflicts",
+                   sg.num_states(), sg.num_edges(), sg.num_levels(),
+                   sg.peak_frontier(), analysis.persistency.size(),
+                   analysis.csc_conflicts.size()));
+  if (!analysis.speed_independent())
+    throw SpecError("specification is not output-persistent: " +
+                    describe(sg, analysis.persistency.front()));
+}
+
+/// CSC resolution. In RT mode this first probes whether timing assumptions
+/// alone restore CSC (keeping the reduction it computed for the probe, so
+/// the graph is never reduced twice), escalating the delay model before
+/// paying for a state signal; only then does it fall back to state-signal
+/// insertion. Either insertion path rebuilds the state graph for the
+/// augmented specification.
+void stage_encode(PipelineState* st, StageTrace* trace) {
+  const FlowOptions& opts = st->opts;
+  if (st->analysis->has_csc()) {
+    trace->status = StageStatus::kSkipped;
+    trace->summary = "CSC already holds; no encoding needed";
+    return;
+  }
+  StateGraph& sg = *st->sg;
+  if (opts.mode == FlowMode::kRelativeTiming) {
+    // Conflicts may disappear once timing prunes the straggler states.
+    std::vector<RtAssumption> assumptions = opts.rt.user_assumptions;
+    for (auto& a : generate_assumptions(sg, opts.rt.generate))
+      assumptions.push_back(a);
+    ReduceResult red = reduce(sg, assumptions);
+    SgAnalysis reduced_analysis = analyze(red.sg);
+    if (reduced_analysis.has_csc()) {
+      metric(trace, "states_reduced", red.sg.num_states());
+      legacy(st, trace, "state encoding",
+             strprintf("CSC holds on the reduced graph (%d -> %d states); "
+                       "no state signal needed",
+                       sg.num_states(), red.sg.num_states()));
+      st->rt_opts.assumptions_override = std::move(assumptions);
+      st->reduction = std::move(red);
+      st->reduction_from_encode = st->assumptions_from_encode = true;
+    }
+    if (!reduced_analysis.has_csc() && !opts.rt.generate.ring_environment) {
+      // Escalate the delay model before paying for a state signal: the
+      // ring-environment rules (cycle-start, head-start) target exactly
+      // the straggler states that keep codes ambiguous on decoupled
+      // specs like the paper's FIFO. Adopted only if the escalated
+      // reduction restores CSC without deadlock or persistency loss.
+      GenerateOptions escalated = opts.rt.generate;
+      escalated.ring_environment = true;
+      std::vector<RtAssumption> strong = opts.rt.user_assumptions;
+      for (auto& a : generate_assumptions(sg, escalated))
+        strong.push_back(a);
+      ReduceResult red2 = reduce(sg, strong);
+      const SgAnalysis escalated_analysis = analyze(red2.sg);
+      if (red2.deadlocked_states == 0 && escalated_analysis.has_csc() &&
+          escalated_analysis.speed_independent()) {
+        st->rt_opts.generate = escalated;
+        st->rt_opts.assumptions_override = std::move(strong);
+        reduced_analysis = escalated_analysis;
+        metric(trace, "states_reduced", red2.sg.num_states());
+        metric(trace, "ring_escalated", 1);
+        legacy(st, trace, "state encoding",
+               strprintf("CSC holds after ring-environment escalation "
+                         "(%d -> %d states); no state signal needed",
+                         sg.num_states(), red2.sg.num_states()));
+        st->reduction = std::move(red2);
+        st->reduction_from_encode = st->assumptions_from_encode = true;
+      }
+    }
+    if (!reduced_analysis.has_csc()) {
+      const EncodeResult enc = solve_csc(st->result.spec, st->encode_opts);
+      if (!enc.solved)
+        throw SpecError(
+            "CSC unsolvable: neither timing assumptions nor state-signal "
+            "insertion resolve the conflicts");
+      st->result.spec = enc.stg;
+      st->result.state_signals_added = enc.signals_added;
+      st->sg.emplace(StateGraph::build(st->result.spec, opts.sg));
+      metric(trace, "state_signals", enc.signals_added);
+      metric(trace, "rounds", static_cast<long long>(enc.rounds.size()));
+      legacy(st, trace, "state encoding",
+             strprintf("inserted %d state signal(s); %d states; "
+                       "candidates evaluated/feasible per round: %s",
+                       enc.signals_added, st->sg->num_states(),
+                       candidate_stats(enc).c_str()));
+    }
+  } else {
+    const EncodeResult enc = solve_csc(st->result.spec, st->encode_opts);
+    if (!enc.solved)
+      throw SpecError("CSC conflicts unsolvable by state-signal insertion "
+                      "under speed-independent semantics");
+    st->result.spec = enc.stg;
+    st->result.state_signals_added = enc.signals_added;
+    st->sg.emplace(StateGraph::build(st->result.spec, opts.sg));
+    metric(trace, "state_signals", enc.signals_added);
+    metric(trace, "rounds", static_cast<long long>(enc.rounds.size()));
+    legacy(st, trace, "state encoding",
+           strprintf("inserted %d state signal(s); %d states; "
+                     "candidates evaluated/feasible per round: %s",
+                     enc.signals_added, st->sg->num_states(),
+                     candidate_stats(enc).c_str()));
+  }
+}
+
+/// Assemble the assumption set the RT synthesizer will run under: user
+/// assumptions first (they may unlock more automatic ones), then the
+/// delay-model generation on the (possibly rebuilt) state graph — unless
+/// the encode stage already validated a merged set during its feasibility
+/// probe, which is reused untouched.
+void stage_generate_assumptions(PipelineState* st, StageTrace* trace) {
+  if (!st->rt_opts.assumptions_override) {
+    std::vector<RtAssumption> assumptions = st->rt_opts.user_assumptions;
+    for (auto& a : generate_assumptions(*st->sg, st->rt_opts.generate))
+      assumptions.push_back(a);
+    st->rt_opts.assumptions_override = std::move(assumptions);
+  } else {
+    trace->status = StageStatus::kSkipped;
+    trace->summary = "reusing the set validated by the encode stage";
+  }
+  metric(trace, "assumptions",
+         static_cast<long long>(st->rt_opts.assumptions_override->size()));
+  metric(trace, "user_assumptions",
+         static_cast<long long>(st->rt_opts.user_assumptions.size()));
+  legacy(st, trace, "assumption generation",
+         strprintf("%zu assumptions (%zu user)",
+                   st->rt_opts.assumptions_override->size(),
+                   st->rt_opts.user_assumptions.size()));
+}
+
+/// Concurrency reduction under the merged assumption set — the "lazy
+/// state graph" box. Reuses the reduction the encode stage computed while
+/// probing CSC, so the graph is never reduced twice. The deadlock check
+/// lives here (it is a property of the reduction, not of synthesis); the
+/// message is byte-identical to the one synthesize_rt raises for direct
+/// callers.
+void stage_reduce(PipelineState* st, StageTrace* trace) {
+  if (!st->reduction) {
+    st->reduction.emplace(reduce(*st->sg, *st->rt_opts.assumptions_override));
+  } else {
+    trace->status = StageStatus::kSkipped;
+    trace->summary = "reusing the reduction from the encode stage";
+  }
+  metric(trace, "states_before", st->sg->num_states());
+  metric(trace, "states_after", st->reduction->sg.num_states());
+  metric(trace, "deadlocked_states", st->reduction->deadlocked_states);
+  legacy(st, trace, "lazy state graph",
+         strprintf("%d -> %d states", st->sg->num_states(),
+                   st->reduction->sg.num_states()));
+  if (st->reduction->deadlocked_states > 0)
+    throw SpecError("RT assumptions deadlock the specification");
+}
+
+void stage_synth_si(PipelineState* st, StageTrace* trace) {
+  FlowResult& result = st->result;
+  result.si = synthesize_si(*st->sg, st->opts.si);
+  metric(trace, "literals", result.si->literals);
+  metric(trace, "transistors", result.si->netlist.transistor_count());
+  legacy(st, trace, "logic synthesis",
+         strprintf("SI style, %d literals, %d transistors",
+                   result.si->literals,
+                   result.si->netlist.transistor_count()));
+  result.states_reduced = st->sg->num_states();
+}
+
+void stage_synth_rt(PipelineState* st, StageTrace* trace) {
+  FlowResult& result = st->result;
+  result.rt = synthesize_rt(*st->sg, st->rt_opts, &*st->reduction);
+  result.states_reduced = result.rt->states_after;
+  metric(trace, "literals", result.rt->literals);
+  metric(trace, "transistors", result.rt->netlist.transistor_count());
+  metric(trace, "constraints",
+         static_cast<long long>(result.rt->constraints.size()));
+  legacy(st, trace, "logic synthesis",
+         strprintf("RT style, %d literals, %d transistors",
+                   result.rt->literals,
+                   result.rt->netlist.transistor_count()));
+  legacy(st, trace, "back-annotation",
+         strprintf("%zu required timing constraints",
+                   result.rt->constraints.size()));
+}
+
+/// Map an in-flight exception to the batch diagnostic vocabulary. The
+/// catch order mirrors flow/batchflow's historical mapping; FlowCancelled
+/// gets its own kind so a killed run is never read as an infeasible spec.
+std::string diagnostic_kind(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const ParseError&) {
+    return "parse";
+  } catch (const FlowCancelled&) {
+    return "cancelled";
+  } catch (const Error&) {
+    return "spec";
+  } catch (const std::exception&) {
+    return "internal";
+  }
+}
+
+std::string exception_message(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  }
+}
+
+/// Apply the context's budget and cancellation to the scattered per-stage
+/// options — the single arbitration point for the whole flow.
+FlowOptions effective_options(const FlowOptions& opts, const FlowContext& ctx) {
+  FlowOptions eff = opts;
+  eff.sg.threads = ThreadBudget::resolve(ctx.budget.graph, eff.sg.threads);
+  eff.encode.threads =
+      ThreadBudget::resolve(ctx.budget.candidate, eff.encode.threads);
+  eff.rt.generate.threads =
+      ThreadBudget::resolve(ctx.budget.candidate, eff.rt.generate.threads);
+  if (ctx.cancel) {
+    eff.sg.cancel = ctx.cancel;
+    eff.encode.cancel = ctx.cancel;
+    eff.encode.sg.cancel = ctx.cancel;
+    eff.rt.generate.cancel = ctx.cancel;
+  }
+  return eff;
+}
+
+}  // namespace
+
+FlowPipeline::FlowPipeline(FlowMode mode) : mode_(mode) {
+  names_ = {"specification", "reachability", "encode"};
+  if (mode == FlowMode::kRelativeTiming) {
+    names_.push_back("generate-assumptions");
+    names_.push_back("reduce");
+    names_.push_back("synth-rt");
+  } else {
+    names_.push_back("synth-si");
+  }
+}
+
+FlowPipeline FlowPipeline::standard(FlowMode mode) {
+  return FlowPipeline(mode);
+}
+
+PipelineResult FlowPipeline::run(const Stg& spec, const FlowOptions& opts,
+                                 const FlowContext& ctx) const {
+  PipelineResult out;
+  PipelineState st;
+  st.opts = effective_options(opts, ctx);
+  st.opts.mode = mode_;
+  st.rt_opts = st.opts.rt;
+  // The CSC solver rebuilds candidate graphs; it must respect the stricter
+  // of its own cap and the flow-wide one (both are safety bounds). The
+  // graph-level thread setting is flow-wide by contract (FlowOptions::sg
+  // governs every build in the flow), so it overrides the encode-local
+  // one here; it only reaches the solver's per-round builds — candidate
+  // builds are unconditionally sequential inside solve_csc.
+  st.encode_opts = st.opts.encode;
+  st.encode_opts.sg.max_states =
+      std::min(st.opts.encode.sg.max_states, st.opts.sg.max_states);
+  st.encode_opts.sg.threads = st.opts.sg.threads;
+
+  for (const std::string& name : names_) {
+    StageTrace trace;
+    trace.stage = name;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      ctx.check_cancelled(name.c_str());
+      if (name == "specification") {
+        stage_specification(spec, &st, &trace);
+      } else if (name == "reachability") {
+        stage_reachability(&st, &trace);
+      } else if (name == "encode") {
+        stage_encode(&st, &trace);
+      } else if (name == "generate-assumptions") {
+        stage_generate_assumptions(&st, &trace);
+      } else if (name == "reduce") {
+        stage_reduce(&st, &trace);
+      } else if (name == "synth-rt") {
+        stage_synth_rt(&st, &trace);
+      } else if (name == "synth-si") {
+        stage_synth_si(&st, &trace);
+      } else {
+        RTCAD_ASSERT(!"unknown pipeline stage");
+      }
+    } catch (...) {
+      const std::exception_ptr e = std::current_exception();
+      trace.status = StageStatus::kFailed;
+      trace.error_kind = diagnostic_kind(e);
+      trace.error_message = exception_message(e);
+      trace.wall_ms = ms_since(start);
+      out.error =
+          StageError{name, trace.error_kind, trace.error_message};
+      out.exception = e;
+      out.trace.push_back(std::move(trace));
+      out.flow = std::move(st.result);
+      return out;
+    }
+    trace.wall_ms = ms_since(start);
+    out.trace.push_back(std::move(trace));
+  }
+  out.flow = std::move(st.result);
+  return out;
+}
+
+}  // namespace rtcad

@@ -1,0 +1,87 @@
+// FlowPipeline: the Figure 2 flow as a composable sequence of named
+// stages instead of one monolithic driver function.
+//
+//   specification -> reachability -> encode -> [generate-assumptions ->
+//   reduce -> synth-rt]   (relative-timing mode)
+//   specification -> reachability -> encode -> [synth-si]
+//                                              (speed-independent mode)
+//
+// Every stage reads and writes a shared blackboard; the pipeline runs
+// them in order under one FlowContext (thread budget + cancellation) and
+// records a structured StageTrace per stage — typed metrics, a one-line
+// summary, and a per-stage error channel — alongside the legacy
+// FlowResult it assembles.
+//
+// Contracts:
+//
+//  * Behavior preservation. With a default FlowContext, the pipeline is
+//    byte-identical to the historical `run_flow`: same FlowStage lines in
+//    the same order, same statistics, same error messages. `run_flow`
+//    itself is now a thin wrapper over this API and the golden corpus
+//    proves the equivalence.
+//  * Deterministic errors. A failing stage produces a StageError naming
+//    the stage, a diagnostic kind from the batch vocabulary ("parse",
+//    "spec", "cancelled", "internal") and the exact message; the original
+//    exception is preserved for wrappers that need to rethrow.
+//  * No skipped-stage surprises. Stages that a particular spec does not
+//    need (encode when CSC already holds, reduce when the encode stage
+//    already reduced during its feasibility probe) still appear in the
+//    trace, marked StageStatus::kSkipped.
+#pragma once
+
+#include <exception>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/context.hpp"
+#include "flow/rtflow.hpp"
+
+namespace rtcad {
+
+/// Everything a pipeline run produces. `flow` carries the legacy result
+/// (and is only meaningful when `!error`); `trace` always describes what
+/// ran, including the failing stage.
+struct PipelineResult {
+  FlowResult flow;
+  std::vector<StageTrace> trace;
+  std::optional<StageError> error;
+  /// The exception behind `error`, for byte- and type-identical rethrow
+  /// by compatibility wrappers. Null iff `!error`.
+  std::exception_ptr exception;
+
+  bool ok() const { return !error.has_value(); }
+  const StageTrace* stage(const std::string& name) const {
+    for (const StageTrace& t : trace)
+      if (t.stage == name) return &t;
+    return nullptr;
+  }
+};
+
+class FlowPipeline {
+ public:
+  /// The standard Figure 2 stage sequence for `mode`. Stage names:
+  /// "specification", "reachability", "encode", then either
+  /// "generate-assumptions", "reduce", "synth-rt" (relative timing) or
+  /// "synth-si" (speed independent).
+  static FlowPipeline standard(FlowMode mode);
+
+  /// Stage names in execution order.
+  const std::vector<std::string>& stage_names() const { return names_; }
+
+  /// Run every stage in order. Never throws for flow-level reasons: a
+  /// stage failure is reported through PipelineResult::error (with the
+  /// original exception preserved); cancellation likewise, with kind
+  /// "cancelled". The context's thread budget overrides the scattered
+  /// per-stage thread options wherever it is set (>= 0), and its cancel
+  /// token is threaded into every stage.
+  PipelineResult run(const Stg& spec, const FlowOptions& opts,
+                     const FlowContext& ctx = {}) const;
+
+ private:
+  explicit FlowPipeline(FlowMode mode);
+  FlowMode mode_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace rtcad

@@ -1,170 +1,22 @@
 #include "flow/rtflow.hpp"
 
-#include <algorithm>
+#include <exception>
 
-#include "rt/reduce.hpp"
-#include "util/strings.hpp"
+#include "flow/pipeline.hpp"
 
 namespace rtcad {
-namespace {
 
-void stage(FlowResult* r, const std::string& name, const std::string& detail) {
-  r->stages.push_back(FlowStage{name, detail});
-}
-
-/// Per-round candidate-search statistics as "evaluated/feasible" pairs,
-/// e.g. "56/12, 90/3". Schedule-independent (the candidate set and each
-/// candidate's score depend only on the spec), so safe inside the
-/// canonical golden-diffed JSON at any --csc-threads value.
-std::string candidate_stats(const EncodeResult& enc) {
-  std::string s;
-  for (const EncodeRoundStats& r : enc.rounds) {
-    if (!s.empty()) s += ", ";
-    s += strprintf("%d/%d", r.candidates, r.feasible);
-  }
-  return s.empty() ? "none" : s;
-}
-
-}  // namespace
-
-FlowResult run_flow(const Stg& input_spec, const FlowOptions& opts) {
-  FlowResult result;
-  result.spec = input_spec;
-  result.spec.validate();
-  stage(&result, "specification",
-        strprintf("%d signals, %d transitions, %d places",
-                  result.spec.num_signals(), result.spec.num_transitions(),
-                  result.spec.num_places()));
-
-  // The CSC solver rebuilds candidate graphs; it must respect the stricter
-  // of its own cap and the flow-wide one (both are safety bounds). The
-  // graph-level thread setting is flow-wide by contract (FlowOptions::sg
-  // governs every build in the flow), so it overrides the encode-local
-  // one here; it only reaches the solver's per-round builds — candidate
-  // builds are unconditionally sequential inside solve_csc.
-  EncodeOptions encode_opts = opts.encode;
-  encode_opts.sg.max_states =
-      std::min(opts.encode.sg.max_states, opts.sg.max_states);
-  encode_opts.sg.threads = opts.sg.threads;
-
-  StateGraph sg = StateGraph::build(result.spec, opts.sg);
-  result.states = sg.num_states();
-  SgAnalysis analysis = analyze(sg);
-  // Level stats come from the builder's BFS and are a property of the graph,
-  // not of the schedule: identical at every sg.threads setting, so they are
-  // safe inside the canonical (golden-diffed) JSON.
-  stage(&result, "reachability",
-        strprintf("%d states, %d edges, %d levels, peak frontier %d, "
-                  "%zu persistency violations, %zu CSC conflicts",
-                  sg.num_states(), sg.num_edges(), sg.num_levels(),
-                  sg.peak_frontier(), analysis.persistency.size(),
-                  analysis.csc_conflicts.size()));
-  if (!analysis.speed_independent())
-    throw SpecError("specification is not output-persistent: " +
-                    describe(sg, analysis.persistency.front()));
-
-  RtSynthOptions rt_opts = opts.rt;
-  // Reduction already performed while checking CSC below; handed to
-  // synthesize_rt (together with the matching assumption set in
-  // rt_opts.assumptions_override) so the graph is never reduced twice.
-  std::optional<ReduceResult> reduction;
-  if (!analysis.has_csc()) {
-    if (opts.mode == FlowMode::kRelativeTiming) {
-      // Conflicts may disappear once timing prunes the straggler states.
-      std::vector<RtAssumption> assumptions = opts.rt.user_assumptions;
-      for (auto& a : generate_assumptions(sg, opts.rt.generate))
-        assumptions.push_back(a);
-      ReduceResult red = reduce(sg, assumptions);
-      SgAnalysis reduced_analysis = analyze(red.sg);
-      if (reduced_analysis.has_csc()) {
-        stage(&result, "state encoding",
-              strprintf("CSC holds on the reduced graph (%d -> %d states); "
-                        "no state signal needed",
-                        sg.num_states(), red.sg.num_states()));
-        rt_opts.assumptions_override = std::move(assumptions);
-        reduction = std::move(red);
-      }
-      if (!reduced_analysis.has_csc() && !opts.rt.generate.ring_environment) {
-        // Escalate the delay model before paying for a state signal: the
-        // ring-environment rules (cycle-start, head-start) target exactly
-        // the straggler states that keep codes ambiguous on decoupled
-        // specs like the paper's FIFO. Adopted only if the escalated
-        // reduction restores CSC without deadlock or persistency loss.
-        GenerateOptions escalated = opts.rt.generate;
-        escalated.ring_environment = true;
-        std::vector<RtAssumption> strong = opts.rt.user_assumptions;
-        for (auto& a : generate_assumptions(sg, escalated))
-          strong.push_back(a);
-        ReduceResult red2 = reduce(sg, strong);
-        const SgAnalysis escalated_analysis = analyze(red2.sg);
-        if (red2.deadlocked_states == 0 && escalated_analysis.has_csc() &&
-            escalated_analysis.speed_independent()) {
-          rt_opts.generate = escalated;
-          rt_opts.assumptions_override = std::move(strong);
-          reduced_analysis = escalated_analysis;
-          stage(&result, "state encoding",
-                strprintf("CSC holds after ring-environment escalation "
-                          "(%d -> %d states); no state signal needed",
-                          sg.num_states(), red2.sg.num_states()));
-          reduction = std::move(red2);
-        }
-      }
-      if (!reduced_analysis.has_csc()) {
-        const EncodeResult enc = solve_csc(result.spec, encode_opts);
-        if (!enc.solved)
-          throw SpecError(
-              "CSC unsolvable: neither timing assumptions nor state-signal "
-              "insertion resolve the conflicts");
-        result.spec = enc.stg;
-        result.state_signals_added = enc.signals_added;
-        sg = StateGraph::build(result.spec, opts.sg);
-        stage(&result, "state encoding",
-              strprintf("inserted %d state signal(s); %d states; "
-                        "candidates evaluated/feasible per round: %s",
-                        enc.signals_added, sg.num_states(),
-                        candidate_stats(enc).c_str()));
-      }
-    } else {
-      const EncodeResult enc = solve_csc(result.spec, encode_opts);
-      if (!enc.solved)
-        throw SpecError("CSC conflicts unsolvable by state-signal insertion "
-                        "under speed-independent semantics");
-      result.spec = enc.stg;
-      result.state_signals_added = enc.signals_added;
-      sg = StateGraph::build(result.spec, opts.sg);
-      stage(&result, "state encoding",
-            strprintf("inserted %d state signal(s); %d states; "
-                      "candidates evaluated/feasible per round: %s",
-                      enc.signals_added, sg.num_states(),
-                      candidate_stats(enc).c_str()));
-    }
-  }
-
-  if (opts.mode == FlowMode::kSpeedIndependent) {
-    result.si = synthesize_si(sg, opts.si);
-    stage(&result, "logic synthesis",
-          strprintf("SI style, %d literals, %d transistors",
-                    result.si->literals, result.si->netlist.transistor_count()));
-    result.states_reduced = sg.num_states();
-    return result;
-  }
-
-  result.rt =
-      synthesize_rt(sg, rt_opts, reduction ? &*reduction : nullptr);
-  result.states_reduced = result.rt->states_after;
-  stage(&result, "assumption generation",
-        strprintf("%zu assumptions (%zu user)", result.rt->assumptions.size(),
-                  opts.rt.user_assumptions.size()));
-  stage(&result, "lazy state graph",
-        strprintf("%d -> %d states", result.rt->states_before,
-                  result.rt->states_after));
-  stage(&result, "logic synthesis",
-        strprintf("RT style, %d literals, %d transistors",
-                  result.rt->literals, result.rt->netlist.transistor_count()));
-  stage(&result, "back-annotation",
-        strprintf("%zu required timing constraints",
-                  result.rt->constraints.size()));
-  return result;
+// Compatibility wrapper over the staged pipeline (flow/pipeline.*): same
+// signature, same FlowStage lines, same statistics, and the ORIGINAL
+// exception rethrown on failure — byte- and type-identical to the
+// historical monolithic driver, which is what keeps every golden stable
+// across the API redesign. New code that wants the structured trace, the
+// unified thread budget or cancellation should call FlowPipeline::run
+// with a FlowContext directly.
+FlowResult run_flow(const Stg& spec, const FlowOptions& opts) {
+  PipelineResult r = FlowPipeline::standard(opts.mode).run(spec, opts);
+  if (r.error) std::rethrow_exception(r.exception);
+  return std::move(r.flow);
 }
 
 }  // namespace rtcad

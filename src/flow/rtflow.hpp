@@ -56,6 +56,12 @@ struct FlowResult {
 /// Run the complete flow. Throws SpecError when the specification cannot
 /// be implemented in the requested mode (inconsistent, not persistent,
 /// CSC unsolvable).
+///
+/// Compatibility wrapper over the staged-pipeline API: equivalent to
+/// FlowPipeline::standard(opts.mode).run(spec, opts) with a default
+/// FlowContext, rethrowing the failing stage's original exception. Use
+/// flow/pipeline.hpp directly for the structured per-stage trace, the
+/// unified thread budget, and cooperative cancellation.
 FlowResult run_flow(const Stg& spec, const FlowOptions& opts = {});
 
 }  // namespace rtcad

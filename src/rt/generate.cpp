@@ -200,6 +200,10 @@ std::vector<RtAssumption> generate_assumptions(const StateGraph& sg,
     return out;
   };
   for (int round = 0; round < opts.max_refinement_rounds; ++round) {
+    // One cancellation check per refinement round: rounds re-reduce the
+    // whole graph and sweep a BFS per input edge, so this is the natural
+    // (and deterministic, for a pre-cancelled token) abort boundary.
+    if (opts.cancel) opts.cancel->check("assumption generation");
     const ReduceResult red = reduce(sg, out);
     if (red.deadlocked_states > 0) return rolled_back();
     stable = out.size();

@@ -20,6 +20,7 @@
 
 #include "rt/assumption.hpp"
 #include "sg/stategraph.hpp"
+#include "util/cancel.hpp"
 
 namespace rtcad {
 
@@ -63,6 +64,11 @@ struct GenerateOptions {
   /// a private slot and every emission decision below runs sequentially in
   /// edge-index order.
   int threads = 1;
+  /// Optional cooperative cancellation, checked once per ring-environment
+  /// refinement round (the generate/reduce fixpoint loop). Not owned; must
+  /// outlive the call. The cheap structural rules (margin classes,
+  /// cycle-start) always complete.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Scan the state graph for racing edge pairs and emit ordering

@@ -85,6 +85,12 @@ EncodeResult solve_csc(const Stg& spec, const EncodeOptions& opts) {
   candidate_sg.threads = 1;
 
   for (int round = 0;; ++round) {
+    // One cancellation check per CSC round; candidate builds inherit the
+    // token through candidate_sg for BFS-round granularity on top. A
+    // FlowCancelled from a worker is NOT a candidate rejection — it is not
+    // a SpecError, so it propagates out of for_each_index and aborts the
+    // solve, exactly like the sequential loop.
+    if (opts.cancel) opts.cancel->check("state encoding");
     StateGraph sg = StateGraph::build(result.stg, opts.sg);
     const SgAnalysis analysis = analyze(sg);
     if (analysis.has_csc()) {

@@ -23,6 +23,7 @@
 
 #include "sg/analysis.hpp"
 #include "sg/stategraph.hpp"
+#include "util/cancel.hpp"
 
 namespace rtcad {
 
@@ -41,6 +42,12 @@ struct EncodeOptions {
   /// `sg.threads` still applies to the per-round build of the accepted
   /// spec.
   int threads = 1;
+  /// Optional cooperative cancellation, checked once per CSC round (before
+  /// the round's rebuild + candidate search). The token also reaches every
+  /// state-graph build the solver performs through `sg.cancel`, so a long
+  /// candidate evaluation is additionally interruptible at BFS-round
+  /// granularity. Not owned; must outlive the solve.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Schedule-independent statistics for one round of the candidate search.

@@ -309,11 +309,18 @@ void StateGraph::explore_sequential(const SgOptions& opts,
   // state of the current level has been expanded.
   std::size_t level_begin = 0, level_boundary = 1;
 
+  // Cancellation is checked once per BFS round (here before round 0, then
+  // at each level boundary below) — the same round boundaries the parallel
+  // path checks, so a pre-cancelled token raises the identical error at
+  // any thread count.
+  if (opts.cancel) opts.cancel->check("state-graph build");
+
   for (int si = 0; si < static_cast<int>(states_.size()); ++si) {
     if (static_cast<std::size_t>(si) == level_boundary) {
       level_sizes_.push_back(static_cast<int>(level_boundary - level_begin));
       level_begin = level_boundary;
       level_boundary = states_.size();
+      if (opts.cancel) opts.cancel->check("state-graph build");
     }
     out_row_.push_back(static_cast<int>(edge_transition_.size()));
     // Copy into scratch: states_ may reallocate while pushing successors.
@@ -438,6 +445,9 @@ void StateGraph::explore_parallel(const SgOptions& opts, int threads,
   };
 
   while (level_begin < level_end) {
+    // Same round granularity (and therefore the same error bytes for a
+    // pre-cancelled token) as the sequential loop's boundary checks.
+    if (opts.cancel) opts.cancel->check("state-graph build");
     level_sizes_.push_back(static_cast<int>(level_end - level_begin));
     const std::size_t width = level_end - level_begin;
     chunk_size = std::max<std::size_t>(

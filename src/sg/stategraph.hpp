@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "stg/stg.hpp"
+#include "util/cancel.hpp"
 
 namespace rtcad {
 
@@ -38,6 +39,11 @@ struct SgOptions {
   /// drivers split cores between corpus-level parallelism (their own pool)
   /// and this graph-level setting.
   int threads = 1;
+  /// Optional cooperative cancellation, checked once per BFS round (both
+  /// exploration paths, at the same round boundaries). Not owned; must
+  /// outlive the build. A token cancelled before the build raises a
+  /// byte-identical FlowCancelled at any thread count.
+  const CancelToken* cancel = nullptr;
 };
 
 struct SgState {

@@ -120,6 +120,77 @@ TEST(BatchFlow, UnparsableFileBecomesParseDiagnostic) {
   EXPECT_EQ(r.items[1].diagnostic.kind, "parse");
 }
 
+TEST(BatchFlow, MissingFileBecomesParseDiagnosticVerbatim) {
+  const std::string missing = ::testing::TempDir() + "/does_not_exist.g";
+  const std::vector<BatchSpec> corpus = load_corpus_files({missing});
+  ASSERT_EQ(corpus.size(), 1u);
+  ASSERT_TRUE(corpus[0].load_error.has_value());
+  EXPECT_EQ(corpus[0].load_error->kind, "parse");
+  const std::string expected_msg = "cannot open STG file '" + missing + "'";
+  EXPECT_EQ(corpus[0].load_error->message, expected_msg);
+
+  // The load diagnostic must surface verbatim in the batch JSON.
+  const BatchResult r = run_batch(corpus);
+  EXPECT_EQ(r.failed_count, 1);
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"kind\": \"parse\""), std::string::npos);
+  EXPECT_NE(json.find(expected_msg), std::string::npos);
+}
+
+TEST(BatchFlow, UnparsableFileDiagnosticSurfacesVerbatimInJson) {
+  const std::string bad_path = ::testing::TempDir() + "/batch_garbled.g";
+  {
+    std::ofstream bad(bad_path);
+    bad << ".model broken\n.graph\nthis is not an stg\n";
+  }
+  const std::vector<BatchSpec> corpus = load_corpus_files({bad_path});
+  ASSERT_EQ(corpus.size(), 1u);
+  ASSERT_TRUE(corpus[0].load_error.has_value());
+  EXPECT_EQ(corpus[0].load_error->kind, "parse");
+  // The parser reports file:line; both must reach the JSON untouched.
+  EXPECT_NE(corpus[0].load_error->message.find(bad_path),
+            std::string::npos);
+
+  const BatchResult r = run_batch(corpus);
+  EXPECT_FALSE(r.items[0].ok);
+  EXPECT_NE(to_json(r).find(corpus[0].load_error->message),
+            std::string::npos);
+}
+
+TEST(BatchFlow, EmptyCorpusYieldsEmptyCanonicalJson) {
+  const BatchResult r = run_batch(std::vector<BatchSpec>{});
+  EXPECT_EQ(r.ok_count, 0);
+  EXPECT_EQ(r.failed_count, 0);
+  EXPECT_TRUE(r.items.empty());
+  EXPECT_EQ(to_json(r),
+            "{\n  \"corpus\": 0,\n  \"ok\": 0,\n  \"failed\": 0,\n"
+            "  \"items\": [\n  ]\n}\n");
+}
+
+TEST(BatchFlow, SharedCancelTokenCancelsTheWholeBatch) {
+  CancelToken token;
+  token.request_cancel();
+  FlowContext ctx;
+  ctx.cancel = &token;
+  const BatchResult r = run_batch(builtin_corpus(), ctx);
+  EXPECT_EQ(r.ok_count, 0);
+  for (const auto& item : r.items) {
+    EXPECT_FALSE(item.ok);
+    EXPECT_EQ(item.diagnostic.kind, "cancelled");
+    EXPECT_EQ(item.diagnostic.message, "cancelled during specification");
+  }
+}
+
+TEST(BatchFlow, ContextBudgetOverridesAreByteIdentical) {
+  const std::vector<BatchSpec> corpus = builtin_corpus();
+  const std::string reference = to_json(run_batch(corpus));
+  FlowContext ctx;
+  ctx.budget.corpus = 4;
+  ctx.budget.graph = 2;
+  ctx.budget.candidate = 2;
+  EXPECT_EQ(to_json(run_batch(corpus, ctx)), reference);
+}
+
 TEST(BatchFlow, JsonEscapesSpecialCharacters) {
   BatchResult r;
   BatchItemResult item;

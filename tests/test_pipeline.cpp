@@ -1,0 +1,218 @@
+// The staged-flow API: equivalence with the run_flow wrapper, structured
+// stage traces, per-stage error channels, FlowContext thread-budget
+// arbitration, and cooperative cancellation.
+#include <gtest/gtest.h>
+
+#include "flow/pipeline.hpp"
+#include "stg/builders.hpp"
+
+namespace rtcad {
+namespace {
+
+FlowOptions rt_opts() {
+  FlowOptions o;
+  o.mode = FlowMode::kRelativeTiming;
+  return o;
+}
+
+FlowOptions si_opts() {
+  FlowOptions o;
+  o.mode = FlowMode::kSpeedIndependent;
+  return o;
+}
+
+std::string render_stages(const FlowResult& r) {
+  std::string out;
+  for (const FlowStage& s : r.stages) out += s.name + ": " + s.detail + "\n";
+  return out;
+}
+
+TEST(FlowPipeline, StageNamesMatchTheFigure2Sequence) {
+  const FlowPipeline rt = FlowPipeline::standard(FlowMode::kRelativeTiming);
+  EXPECT_EQ(rt.stage_names(),
+            (std::vector<std::string>{"specification", "reachability",
+                                      "encode", "generate-assumptions",
+                                      "reduce", "synth-rt"}));
+  const FlowPipeline si = FlowPipeline::standard(FlowMode::kSpeedIndependent);
+  EXPECT_EQ(si.stage_names(),
+            (std::vector<std::string>{"specification", "reachability",
+                                      "encode", "synth-si"}));
+}
+
+TEST(FlowPipeline, MatchesRunFlowOnRepresentativeSpecs) {
+  // One spec per interesting path: plain SI, SI with state-signal
+  // insertion, RT with ring-environment escalation, RT with CSC holding
+  // outright.
+  const struct {
+    const char* name;
+    Stg spec;
+    FlowOptions opts;
+  } cases[] = {
+      {"celement:SI", celement_stg(), si_opts()},
+      {"toggle:SI", toggle_stg(), si_opts()},
+      {"fifo:RT", fifo_stg(), rt_opts()},
+      {"fifo_csc:RT", fifo_csc_stg(), rt_opts()},
+  };
+  for (const auto& c : cases) {
+    const FlowResult direct = run_flow(c.spec, c.opts);
+    const PipelineResult staged =
+        FlowPipeline::standard(c.opts.mode).run(c.spec, c.opts);
+    ASSERT_TRUE(staged.ok()) << c.name << ": " << staged.error->message;
+    EXPECT_EQ(render_stages(staged.flow), render_stages(direct)) << c.name;
+    EXPECT_EQ(staged.flow.states, direct.states) << c.name;
+    EXPECT_EQ(staged.flow.states_reduced, direct.states_reduced) << c.name;
+    EXPECT_EQ(staged.flow.state_signals_added, direct.state_signals_added)
+        << c.name;
+    EXPECT_EQ(staged.flow.literals(), direct.literals()) << c.name;
+    EXPECT_EQ(staged.flow.netlist().transistor_count(),
+              direct.netlist().transistor_count())
+        << c.name;
+  }
+}
+
+TEST(FlowPipeline, TraceRecordsEveryStageWithTypedMetrics) {
+  const PipelineResult r =
+      FlowPipeline::standard(FlowMode::kRelativeTiming).run(fifo_stg(),
+                                                            rt_opts());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.trace.size(), 6u);
+  const StageTrace* reach = r.stage("reachability");
+  ASSERT_NE(reach, nullptr);
+  EXPECT_EQ(reach->status, StageStatus::kOk);
+  EXPECT_EQ(reach->metric("states"), 40);
+  EXPECT_EQ(reach->metric("csc_conflicts"), 3);
+  EXPECT_EQ(reach->metric("not_a_metric"), -1);
+  // fifo resolves CSC by ring-environment escalation inside encode; the
+  // later stages reuse its validated assumption set and reduction.
+  const StageTrace* enc = r.stage("encode");
+  ASSERT_NE(enc, nullptr);
+  EXPECT_EQ(enc->status, StageStatus::kOk);
+  EXPECT_EQ(enc->metric("ring_escalated"), 1);
+  EXPECT_EQ(r.stage("generate-assumptions")->status, StageStatus::kSkipped);
+  EXPECT_EQ(r.stage("reduce")->status, StageStatus::kSkipped);
+  EXPECT_EQ(r.stage("synth-rt")->status, StageStatus::kOk);
+}
+
+TEST(FlowPipeline, EncodeIsSkippedWhenCscAlreadyHolds) {
+  const PipelineResult r = FlowPipeline::standard(FlowMode::kSpeedIndependent)
+                               .run(celement_stg(), si_opts());
+  ASSERT_TRUE(r.ok());
+  const StageTrace* enc = r.stage("encode");
+  ASSERT_NE(enc, nullptr);
+  EXPECT_EQ(enc->status, StageStatus::kSkipped);
+  // Skipped stages still never contribute legacy stage lines.
+  for (const FlowStage& s : r.flow.stages)
+    EXPECT_NE(s.name, "state encoding");
+}
+
+TEST(FlowPipeline, StateOverflowIsAttributedToReachability) {
+  FlowOptions capped = si_opts();
+  capped.sg.max_states = 16;  // pipeline_stg(6) has 128 states
+  const PipelineResult r = FlowPipeline::standard(FlowMode::kSpeedIndependent)
+                               .run(pipeline_stg(6), capped);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->stage, "reachability");
+  EXPECT_EQ(r.error->kind, "spec");
+  EXPECT_NE(r.error->message.find("exceeds"), std::string::npos);
+  // The failing stage is the last trace entry, marked failed with the
+  // same error channel.
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace.back().stage, "reachability");
+  EXPECT_EQ(r.trace.back().status, StageStatus::kFailed);
+  EXPECT_EQ(r.trace.back().error_message, r.error->message);
+}
+
+TEST(FlowPipeline, EncodeRebuildOverflowIsAttributedToEncode) {
+  // toggle needs a state signal that grows the graph to 8 states; capping
+  // at 7 passes reachability but makes the CSC solver's rebuilds overflow.
+  FlowOptions capped = si_opts();
+  capped.sg.max_states = 7;
+  const PipelineResult r = FlowPipeline::standard(FlowMode::kSpeedIndependent)
+                               .run(toggle_stg(), capped);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->stage, "encode");
+  EXPECT_EQ(r.error->kind, "spec");
+}
+
+TEST(FlowPipeline, WrapperRethrowsTheOriginalExceptionType) {
+  FlowOptions capped = si_opts();
+  capped.sg.max_states = 16;
+  EXPECT_THROW(run_flow(pipeline_stg(6), capped), SpecError);
+}
+
+TEST(FlowPipeline, ThreadBudgetOverridesAreByteIdentical) {
+  // The context's graph/candidate levels override the scattered options;
+  // determinism means any split yields identical results. toggle runs a
+  // real candidate search, so both levels are exercised.
+  const PipelineResult base =
+      FlowPipeline::standard(FlowMode::kSpeedIndependent).run(toggle_stg(),
+                                                              si_opts());
+  FlowContext ctx;
+  ctx.budget.graph = 8;
+  ctx.budget.candidate = 2;
+  const PipelineResult budgeted =
+      FlowPipeline::standard(FlowMode::kSpeedIndependent)
+          .run(toggle_stg(), si_opts(), ctx);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(budgeted.ok());
+  EXPECT_EQ(render_stages(budgeted.flow), render_stages(base.flow));
+  EXPECT_EQ(budgeted.flow.state_signals_added, base.flow.state_signals_added);
+  EXPECT_EQ(budgeted.flow.literals(), base.flow.literals());
+}
+
+TEST(FlowPipeline, PreCancelledTokenFailsDeterministically) {
+  CancelToken token;
+  token.request_cancel();
+  FlowContext ctx;
+  ctx.cancel = &token;
+  const PipelineResult r = FlowPipeline::standard(FlowMode::kRelativeTiming)
+                               .run(fifo_stg(), rt_opts(), ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->kind, "cancelled");
+  EXPECT_EQ(r.error->stage, "specification");
+  EXPECT_EQ(r.error->message, "cancelled during specification");
+}
+
+TEST(FlowPipeline, PastDeadlineCancels) {
+  CancelToken token;
+  token.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  FlowContext ctx;
+  ctx.cancel = &token;
+  const PipelineResult r = FlowPipeline::standard(FlowMode::kSpeedIndependent)
+                               .run(celement_stg(), si_opts(), ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->kind, "cancelled");
+}
+
+TEST(FlowPipeline, CancelReachesTheParallelEngines) {
+  // A pre-cancelled token must produce the same FlowCancelled through the
+  // parallel builder and the candidate search as through the sequential
+  // paths — the checks sit at the same round boundaries.
+  CancelToken token;
+  token.request_cancel();
+  SgOptions seq;
+  seq.cancel = &token;
+  SgOptions par = seq;
+  par.threads = 8;
+  std::string seq_err, par_err;
+  try {
+    StateGraph::build(pipeline_stg(4), seq);
+  } catch (const FlowCancelled& e) {
+    seq_err = e.what();
+  }
+  try {
+    StateGraph::build(pipeline_stg(4), par);
+  } catch (const FlowCancelled& e) {
+    par_err = e.what();
+  }
+  EXPECT_EQ(seq_err, "cancelled during state-graph build");
+  EXPECT_EQ(par_err, seq_err);
+
+  EncodeOptions enc;
+  enc.cancel = &token;
+  EXPECT_THROW(solve_csc(toggle_stg(), enc), FlowCancelled);
+}
+
+}  // namespace
+}  // namespace rtcad

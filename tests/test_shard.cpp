@@ -1,0 +1,257 @@
+// The shard/merge subsystem: round-robin index ownership, shard-file
+// round-tripping through the strict JSON reader, and the core contract —
+// merging N shard files is byte-identical to one single-process batch.
+#include <gtest/gtest.h>
+
+#include "flow/shard.hpp"
+#include "stg/builders.hpp"
+
+namespace rtcad {
+namespace {
+
+TEST(Shard, IndicesAreRoundRobin) {
+  EXPECT_EQ(shard_indices(7, 0, 3), (std::vector<std::size_t>{0, 3, 6}));
+  EXPECT_EQ(shard_indices(7, 1, 3), (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(shard_indices(7, 2, 3), (std::vector<std::size_t>{2, 5}));
+  EXPECT_EQ(shard_indices(2, 1, 8), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(shard_indices(0, 0, 4), std::vector<std::size_t>{});
+  EXPECT_EQ(shard_indices(5, 0, 1),
+            (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+/// The tentpole contract: shard -> serialize -> parse -> merge -> render
+/// reproduces the single-process batch JSON byte for byte.
+TEST(Shard, MergeOfShardsIsByteIdenticalToSingleProcessBatch) {
+  const std::vector<BatchSpec> corpus = builtin_corpus();
+  const std::string reference = to_json(run_batch(corpus));
+  for (std::size_t of : {std::size_t{1}, std::size_t{3}, std::size_t{5}}) {
+    std::vector<ShardRun> shards;
+    for (std::size_t i = 0; i < of; ++i)
+      shards.push_back(
+          parse_shard_json(to_shard_json(run_shard(corpus, i, of))));
+    EXPECT_EQ(to_json(merge_shards(shards)), reference) << "of=" << of;
+  }
+}
+
+TEST(Shard, MergeToleratesShardFileOrder) {
+  const std::vector<BatchSpec> corpus = builtin_corpus();
+  const std::string reference = to_json(run_batch(corpus));
+  std::vector<ShardRun> shards;
+  for (std::size_t i : {std::size_t{2}, std::size_t{0}, std::size_t{1}})
+    shards.push_back(run_shard(corpus, i, 3));
+  EXPECT_EQ(to_json(merge_shards(shards)), reference);
+}
+
+TEST(Shard, MoreShardsThanItemsLeavesSomeEmpty) {
+  std::vector<BatchSpec> corpus;
+  FlowOptions si;
+  si.mode = FlowMode::kSpeedIndependent;
+  corpus.push_back(BatchSpec{"celement", celement_stg(), si, {}});
+  corpus.push_back(BatchSpec{"toggle", toggle_stg(), si, {}});
+  const std::string reference = to_json(run_batch(corpus));
+  std::vector<ShardRun> shards;
+  for (std::size_t i = 0; i < 4; ++i) {
+    shards.push_back(run_shard(corpus, i, 4));
+    if (i >= 2) EXPECT_TRUE(shards.back().items.empty());
+  }
+  EXPECT_EQ(to_json(merge_shards(shards)), reference);
+}
+
+TEST(Shard, EmptyCorpusRoundTrips) {
+  const std::vector<BatchSpec> corpus;
+  std::vector<ShardRun> shards;
+  for (std::size_t i = 0; i < 2; ++i)
+    shards.push_back(parse_shard_json(to_shard_json(run_shard(corpus, i, 2))));
+  EXPECT_EQ(to_json(merge_shards(shards)), to_json(run_batch(corpus)));
+}
+
+/// Diagnostics (failed items) and hostile strings must survive the
+/// serialize/parse round trip byte-exactly.
+TEST(Shard, RecordsRoundTripEscapesAndDiagnostics) {
+  ShardRun run;
+  run.shard = 0;
+  run.of = 1;
+  run.corpus = 2;
+  BatchItemResult ok_item;
+  ok_item.name = "quote\"back\\slash\nnewline\ttab\rcr\x01ctl";
+  ok_item.ok = true;
+  ok_item.states = 7;
+  ok_item.states_reduced = 5;
+  ok_item.state_signals_added = 1;
+  ok_item.literals = 4;
+  ok_item.transistors = 12;
+  ok_item.constraints = 3;
+  ok_item.stages.push_back(FlowStage{"reachability", "7 states, \"quoted\""});
+  BatchItemResult bad_item;
+  bad_item.name = "failing";
+  bad_item.ok = false;
+  bad_item.diagnostic =
+      BatchDiagnostic{"spec", "message with \\ and \"quotes\"\nand newline"};
+  run.items.push_back(ShardItem{0, ok_item});
+  run.items.push_back(ShardItem{1, bad_item});
+
+  const std::string json = to_shard_json(run);
+  const ShardRun back = parse_shard_json(json);
+  ASSERT_EQ(back.items.size(), 2u);
+  EXPECT_EQ(back.items[0].item.name, ok_item.name);
+  EXPECT_EQ(back.items[0].item.stages[0].detail, "7 states, \"quoted\"");
+  EXPECT_EQ(back.items[1].item.diagnostic.message,
+            bad_item.diagnostic.message);
+  // Byte-exactness, not just field equality: re-serialize and compare.
+  EXPECT_EQ(to_shard_json(back), json);
+}
+
+std::string expect_merge_error(std::vector<ShardRun> shards) {
+  try {
+    merge_shards(shards);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Shard, MergeValidatesTheShardSet) {
+  const std::vector<BatchSpec> corpus = builtin_corpus();
+  std::vector<ShardRun> shards;
+  for (std::size_t i = 0; i < 3; ++i)
+    shards.push_back(run_shard(corpus, i, 3));
+
+  EXPECT_NE(expect_merge_error({}).find("no shard files"),
+            std::string::npos);
+  EXPECT_NE(expect_merge_error({shards[0], shards[1]})
+                .find("got 2 shard files"),
+            std::string::npos);
+  EXPECT_NE(expect_merge_error({shards[0], shards[1], shards[1]})
+                .find("duplicate shard id"),
+            std::string::npos);
+
+  std::vector<ShardRun> corpus_mismatch = shards;
+  corpus_mismatch[2].corpus += 1;
+  EXPECT_NE(expect_merge_error(corpus_mismatch).find("corpus size"),
+            std::string::npos);
+
+  std::vector<ShardRun> of_mismatch = shards;
+  of_mismatch[1].of = 4;
+  EXPECT_NE(expect_merge_error(of_mismatch).find("\"of\""),
+            std::string::npos);
+
+  std::vector<ShardRun> stolen_index = shards;
+  ASSERT_FALSE(stolen_index[1].items.empty());
+  stolen_index[1].items[0].index += 1;  // now owned by shard 2
+  EXPECT_NE(expect_merge_error(stolen_index).find("expected"),
+            std::string::npos);
+
+  std::vector<ShardRun> short_shard = shards;
+  short_shard[0].items.pop_back();
+  EXPECT_NE(expect_merge_error(short_shard).find("holds"),
+            std::string::npos);
+}
+
+TEST(Shard, MergeRejectsShardsFromDifferentCorporaOrFlags) {
+  // Same corpus SIZE and index ownership, but one shard was produced
+  // under different flags: only the fingerprint can catch it.
+  const std::vector<BatchSpec> corpus = builtin_corpus();
+  std::vector<BatchSpec> capped = corpus;
+  for (auto& item : capped) item.opts.sg.max_states = 4096;
+  ASSERT_NE(corpus_fingerprint(corpus), corpus_fingerprint(capped));
+
+  std::vector<ShardRun> shards;
+  shards.push_back(run_shard(corpus, 0, 2));
+  shards.push_back(run_shard(capped, 1, 2));
+  const std::string err = expect_merge_error(shards);
+  EXPECT_NE(err.find("fingerprint"), std::string::npos);
+  EXPECT_NE(err.find("different corpus or flags"), std::string::npos);
+}
+
+TEST(Shard, FingerprintCoversNamesOrderModeAndCap) {
+  FlowOptions si;
+  si.mode = FlowMode::kSpeedIndependent;
+  std::vector<BatchSpec> base;
+  base.push_back(BatchSpec{"a", celement_stg(), si, {}});
+  base.push_back(BatchSpec{"b", toggle_stg(), si, {}});
+  const std::string ref = corpus_fingerprint(base);
+
+  std::vector<BatchSpec> renamed = base;
+  renamed[0].name = "c";
+  EXPECT_NE(corpus_fingerprint(renamed), ref);
+
+  std::vector<BatchSpec> reordered = {base[1], base[0]};
+  EXPECT_NE(corpus_fingerprint(reordered), ref);
+
+  std::vector<BatchSpec> remoded = base;
+  remoded[1].opts.mode = FlowMode::kRelativeTiming;
+  EXPECT_NE(corpus_fingerprint(remoded), ref);
+
+  std::vector<BatchSpec> recapped = base;
+  recapped[0].opts.sg.max_states = 17;
+  EXPECT_NE(corpus_fingerprint(recapped), ref);
+
+  // Thread settings are excluded by design: results are identical across
+  // them, so shards may run at different mixtures.
+  std::vector<BatchSpec> rethreaded = base;
+  rethreaded[0].opts.sg.threads = 8;
+  EXPECT_EQ(corpus_fingerprint(rethreaded), ref);
+}
+
+TEST(Shard, ParserRejectsMalformedInput) {
+  // Plain JSON breakage, each with a position-bearing Error.
+  EXPECT_THROW(parse_shard_json(""), Error);
+  EXPECT_THROW(parse_shard_json("{"), Error);
+  EXPECT_THROW(parse_shard_json("{}{}"), Error);
+  EXPECT_THROW(parse_shard_json("{\"schema\": }"), Error);
+  EXPECT_THROW(parse_shard_json("{\"a\": \"\\q\"}"), Error);
+  EXPECT_THROW(parse_shard_json("{\"a\": 1, \"a\": 2}"), Error);
+  // Structurally valid JSON that is not a shard file.
+  EXPECT_THROW(parse_shard_json("[]"), Error);
+  EXPECT_THROW(parse_shard_json("{}"), Error);
+  EXPECT_THROW(parse_shard_json(
+                   "{\"schema\": 1, \"kind\": \"notashard\", \"shard\": 0, "
+                   "\"of\": 1, \"corpus\": 0, \"items\": []}"),
+               Error);
+  EXPECT_THROW(parse_shard_json(
+                   "{\"schema\": 1, \"kind\": \"shard\", \"shard\": 3, "
+                   "\"of\": 2, \"corpus\": 0, \"items\": []}"),
+               Error);
+  EXPECT_THROW(parse_shard_json(
+                   "{\"schema\": 1, \"kind\": \"shard\", \"shard\": 0, "
+                   "\"of\": 1, \"corpus\": 0, \"items\": 7}"),
+               Error);
+}
+
+TEST(Shard, ParserRejectsFutureSchemaVersions) {
+  try {
+    parse_shard_json(
+        "{\"schema\": 2, \"kind\": \"shard\", \"shard\": 0, \"of\": 1, "
+        "\"corpus\": 0, \"items\": []}");
+    FAIL() << "schema 2 accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported schema version 2"),
+              std::string::npos);
+  }
+}
+
+TEST(Shard, RunShardRespectsTheContext) {
+  // A pre-cancelled context makes every item of every shard fail with the
+  // "cancelled" kind — and the merge still reassembles cleanly.
+  CancelToken token;
+  token.request_cancel();
+  FlowContext ctx;
+  ctx.cancel = &token;
+  std::vector<BatchSpec> corpus;
+  FlowOptions si;
+  si.mode = FlowMode::kSpeedIndependent;
+  corpus.push_back(BatchSpec{"celement", celement_stg(), si, {}});
+  corpus.push_back(BatchSpec{"toggle", toggle_stg(), si, {}});
+  std::vector<ShardRun> shards;
+  for (std::size_t i = 0; i < 2; ++i)
+    shards.push_back(run_shard(corpus, i, 2, ctx));
+  const BatchResult merged = merge_shards(shards);
+  ASSERT_EQ(merged.items.size(), 2u);
+  for (const auto& item : merged.items) {
+    EXPECT_FALSE(item.ok);
+    EXPECT_EQ(item.diagnostic.kind, "cancelled");
+  }
+}
+
+}  // namespace
+}  // namespace rtcad

@@ -34,7 +34,7 @@ if [ ! -x "$CLI" ]; then
   exit 1
 fi
 
-if ! "$CLI" --export-specs specs; then
+if ! "$CLI" export-specs specs; then
   echo "gen_golden.sh: ERROR: spec export failed; specs/ may be stale" >&2
   exit 1
 fi
@@ -50,7 +50,7 @@ TMP=$(mktemp "$OUT.tmp.XXXXXX")
 trap 'rm -f "$TMP"' EXIT
 
 # shellcheck disable=SC2086  # word-splitting of $args is intentional
-if ! "$CLI" $args --mode rt --threads 4 --sg-threads "$SG_THREADS" \
+if ! "$CLI" batch $args --mode rt --threads 4 --sg-threads "$SG_THREADS" \
     --csc-threads "$CSC_THREADS" --out "$TMP"; then
   echo "gen_golden.sh: ERROR: rtflow_cli failed (a spec failed to parse or" >&2
   echo "gen_golden.sh: the flow rejected it); not writing $OUT" >&2

@@ -1,20 +1,36 @@
-// rtflow_cli — drive the batch-flow engine from the command line and emit
-// JSON statistics the bench suite can diff.
+// rtflow_cli — drive the staged batch flow from the command line.
 //
-//   rtflow_cli --corpus builtin --threads 8
-//   rtflow_cli --spec fifo.g --spec vme.g --mode si --max-states 100000
-//   rtflow_cli --corpus builtin --timings --out stats.json
+//   rtflow_cli run --spec fifo.g --mode rt --trace
+//   rtflow_cli batch --corpus builtin --threads 8
+//   rtflow_cli shard --shard 1/3 --spec a.g --spec b.g ... --out s1.json
+//   rtflow_cli merge s0.json s1.json s2.json --out merged.json
+//   rtflow_cli list --corpus builtin
+//   rtflow_cli export-specs specs
 //
 // The default (timing-free) JSON is canonical: byte-identical across runs
 // and thread counts, so `diff` against a checked-in golden file is a valid
-// regression test.
+// regression test — and `merge` of N shard files is byte-identical to the
+// single-process `batch` over the same corpus (CI enforces both).
+//
+// Exit-code contract (documented in README.md):
+//   0  success — every item ran clean
+//   1  runtime failure — an item failed (its JSON diagnostic says why), an
+//      input file is missing/invalid, or output could not be written
+//   2  usage error — unknown command or flag, malformed value (reported on
+//      stderr; nothing is written)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "flow/batchflow.hpp"
+#include "flow/pipeline.hpp"
+#include "flow/shard.hpp"
 #include "stg/builders.hpp"
 #include "stg/parse.hpp"
 
@@ -22,43 +38,132 @@ using namespace rtcad;
 
 namespace {
 
-int usage(const char* argv0, int code) {
-  std::fprintf(
-      code == 0 ? stdout : stderr,
-      "usage: %s [options]\n"
-      "\n"
-      "corpus selection:\n"
-      "  --corpus builtin     run every built-in specification (default when\n"
-      "                       no --spec is given)\n"
-      "  --spec FILE.g        add a .g STG file (repeatable)\n"
-      "  --pipeline-stages N  largest built-in pipeline (default 6)\n"
-      "\n"
-      "flow options (apply to --spec files; built-ins choose their own mode):\n"
-      "  --mode si|rt         synthesis mode for file specs (default rt)\n"
-      "  --max-states N       per-spec reachability cap (default 2^20)\n"
-      "\n"
-      "execution / output:\n"
-      "  --threads N          corpus-level worker threads (default: hardware\n"
-      "                       concurrency; specs run in parallel)\n"
-      "  --sg-threads N       graph-level worker threads inside each state-\n"
-      "                       graph build (default 1; 0 = hardware\n"
-      "                       concurrency)\n"
-      "  --csc-threads N      candidate-level worker threads inside the CSC\n"
-      "                       solver's trigger-pair search and the ring-\n"
-      "                       environment assumption rounds (default 1;\n"
-      "                       0 = hardware concurrency)\n"
-      "                       Output is byte-identical at any thread mixture;\n"
-      "                       total concurrency is the product of the levels,\n"
-      "                       so keep threads x sg/csc-threads near the core\n"
-      "                       count\n"
-      "  --timings            include wall-clock times in the JSON\n"
-      "  --out FILE           write JSON to FILE instead of stdout\n"
-      "  --list               print corpus names and exit\n"
-      "  --export-specs DIR   write every built-in builder spec to DIR as .g\n"
-      "                       files (the checked-in specs/ corpus source)\n"
-      "  --help               this text\n",
-      argv0);
-  return code;
+const char* const kGlobalUsage =
+    "usage: %s <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  run           run ONE .g specification through the flow\n"
+    "  batch         run a corpus of specifications, emit canonical JSON\n"
+    "  shard         run shard i of N of a corpus, emit a shard file\n"
+    "  merge         reassemble N shard files into the batch JSON\n"
+    "  list          print the corpus item names\n"
+    "  export-specs  write the built-in builder specs as .g files\n"
+    "\n"
+    "`%s <command> --help` describes each command's options.\n"
+    "\n"
+    "exit codes: 0 success; 1 runtime failure (failed item, bad input\n"
+    "file, unwritable output); 2 usage error.\n";
+
+const char* const kCorpusFlags =
+    "corpus selection:\n"
+    "  --corpus builtin     every built-in specification (default when no\n"
+    "                       --spec is given)\n"
+    "  --spec FILE.g        add a .g STG file (repeatable; corpus order =\n"
+    "                       command-line order, after the built-ins)\n"
+    "  --pipeline-stages N  largest built-in pipeline (default 6)\n"
+    "\n"
+    "flow options (apply to --spec files; built-ins choose their own "
+    "mode):\n"
+    "  --mode si|rt         synthesis mode for file specs (default rt)\n"
+    "  --max-states N       per-spec reachability cap (default 2^20)\n";
+
+const char* const kBudgetFlags =
+    "thread budget (the FlowContext levels; output is byte-identical at\n"
+    "any mixture, total concurrency is the product of the levels):\n"
+    "  --threads N          corpus-level workers (default: hardware\n"
+    "                       concurrency; specs run in parallel)\n"
+    "  --sg-threads N       graph-level workers inside each state-graph\n"
+    "                       build (default 1; 0 = hardware concurrency)\n"
+    "  --csc-threads N      candidate-level workers in the CSC search and\n"
+    "                       the ring-environment assumption rounds\n"
+    "                       (default 1; 0 = hardware concurrency)\n"
+    "  --deadline-ms N      cooperative deadline for the whole command;\n"
+    "                       items past it fail with kind \"cancelled\"\n";
+
+void print_command_usage(std::FILE* to, const char* argv0,
+                         const std::string& cmd) {
+  if (cmd == "run") {
+    std::fprintf(
+        to,
+        "usage: %s run --spec FILE.g [options]\n"
+        "\n"
+        "Run exactly one specification through the staged flow and emit\n"
+        "the canonical one-item batch JSON.\n"
+        "\n"
+        "  --spec FILE.g        the specification (required, exactly once)\n"
+        "  --mode si|rt         synthesis mode (default rt)\n"
+        "  --max-states N       reachability cap (default 2^20)\n"
+        "  --sg-threads N       graph-level workers (default 1)\n"
+        "  --csc-threads N      candidate-level workers (default 1)\n"
+        "  --deadline-ms N      cooperative deadline\n"
+        "  --trace              print the structured per-stage trace\n"
+        "                       (status, metrics, timing) to stderr\n"
+        "  --timings            include wall-clock times in the JSON\n"
+        "  --out FILE           write JSON to FILE instead of stdout\n"
+        "  --help               this text\n",
+        argv0);
+  } else if (cmd == "batch") {
+    std::fprintf(
+        to,
+        "usage: %s batch [options]\n"
+        "\n"
+        "Run the corpus on a worker pool and emit canonical JSON (the\n"
+        "golden-diffed format; `--timings` adds wall clocks for humans).\n"
+        "\n%s\n%s"
+        "  --timings            include wall-clock times in the JSON\n"
+        "  --out FILE           write JSON to FILE instead of stdout\n"
+        "  --help               this text\n",
+        argv0, kCorpusFlags, kBudgetFlags);
+  } else if (cmd == "shard") {
+    std::fprintf(
+        to,
+        "usage: %s shard --shard I/N [options]\n"
+        "\n"
+        "Run the items whose corpus index ≡ I (mod N) and emit a\n"
+        "versioned shard file (\"schema\": 1, records keyed by corpus\n"
+        "index). Every shard process must be given the SAME corpus flags\n"
+        "in the same order; `merge` reassembles N shard files into output\n"
+        "byte-identical to a single-process `batch`.\n"
+        "\n"
+        "  --shard I/N          this process's shard (required; 0 <= I < "
+        "N)\n"
+        "\n%s\n%s"
+        "  --out FILE           write shard JSON to FILE instead of stdout\n"
+        "  --help               this text\n",
+        argv0, kCorpusFlags, kBudgetFlags);
+  } else if (cmd == "merge") {
+    std::fprintf(
+        to,
+        "usage: %s merge SHARD.json... [options]\n"
+        "\n"
+        "Validate and reassemble N shard files (one per shard id) into\n"
+        "the canonical batch JSON — byte-identical to running the whole\n"
+        "corpus in one `batch` process. Exit code follows the batch\n"
+        "contract: 1 if any merged item failed.\n"
+        "\n"
+        "  --out FILE           write JSON to FILE instead of stdout\n"
+        "  --help               this text\n",
+        argv0);
+  } else if (cmd == "list") {
+    std::fprintf(to,
+                 "usage: %s list [options]\n"
+                 "\n"
+                 "Print corpus item names, one per line, in corpus-index\n"
+                 "order (the order shard ids are computed from).\n"
+                 "\n%s"
+                 "  --help               this text\n",
+                 argv0, kCorpusFlags);
+  } else if (cmd == "export-specs") {
+    std::fprintf(to,
+                 "usage: %s export-specs DIR\n"
+                 "\n"
+                 "Write every built-in builder spec to DIR as .g files (the\n"
+                 "reproducible half of the checked-in specs/ corpus;\n"
+                 "tools/gen_golden.sh re-runs this).\n",
+                 argv0);
+  } else {
+    std::fprintf(to, kGlobalUsage, argv0, argv0);
+  }
 }
 
 /// Strict parse for thread-count options: 0 is a legal value (auto), so
@@ -71,9 +176,407 @@ bool parse_thread_count(const char* val, int* out) {
   return true;
 }
 
+/// Parse "--shard I/N".
+bool parse_shard_spec(const char* val, std::size_t* shard, std::size_t* of) {
+  char* end = nullptr;
+  const long i = std::strtol(val, &end, 10);
+  if (end == val || *end != '/' || i < 0) return false;
+  const char* rest = end + 1;
+  const long n = std::strtol(rest, &end, 10);
+  if (end == rest || *end != '\0' || n < 1 || i >= n) return false;
+  *shard = static_cast<std::size_t>(i);
+  *of = static_cast<std::size_t>(n);
+  return true;
+}
+
+/// Shared option state for the corpus-running commands.
+struct CliOptions {
+  bool use_builtin = false;
+  int pipeline_stages = 6;
+  std::vector<std::string> spec_files;
+  FlowOptions file_opts;     // mode + max-states for --spec files
+  ThreadBudget budget;       // corpus/graph/candidate levels
+  long deadline_ms = -1;
+  bool timings = false;
+  bool trace = false;
+  std::string out_path;
+  std::size_t shard = 0, shard_of = 0;  // shard_of == 0: not given
+  std::vector<std::string> positional;  // merge's shard files
+};
+
+/// One flag of the shared vocabulary; returns true if consumed. `i` is
+/// advanced past the flag's value. Sets *usage_error (message already on
+/// stderr) on a malformed value.
+bool parse_common_flag(int argc, char** argv, int* i, CliOptions* o,
+                       bool* usage_error) {
+  const char* arg = argv[*i];
+  const auto need_value = [&]() -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg);
+      *usage_error = true;
+      return nullptr;
+    }
+    return argv[++*i];
+  };
+
+  if (!std::strcmp(arg, "--corpus")) {
+    const char* kind = need_value();
+    if (!kind) return true;
+    if (std::strcmp(kind, "builtin") != 0) {
+      std::fprintf(stderr, "%s: unknown corpus '%s'\n", argv[0], kind);
+      *usage_error = true;
+      return true;
+    }
+    o->use_builtin = true;
+  } else if (!std::strcmp(arg, "--spec")) {
+    const char* file = need_value();
+    if (file) o->spec_files.push_back(file);
+  } else if (!std::strcmp(arg, "--pipeline-stages")) {
+    const char* val = need_value();
+    if (!val) return true;
+    o->pipeline_stages = std::atoi(val);
+    if (o->pipeline_stages < 1) {
+      std::fprintf(stderr, "%s: --pipeline-stages must be >= 1\n", argv[0]);
+      *usage_error = true;
+    }
+  } else if (!std::strcmp(arg, "--mode")) {
+    const char* mode = need_value();
+    if (!mode) return true;
+    if (!std::strcmp(mode, "si")) {
+      o->file_opts.mode = FlowMode::kSpeedIndependent;
+    } else if (!std::strcmp(mode, "rt")) {
+      o->file_opts.mode = FlowMode::kRelativeTiming;
+    } else {
+      std::fprintf(stderr, "%s: unknown mode '%s'\n", argv[0], mode);
+      *usage_error = true;
+    }
+  } else if (!std::strcmp(arg, "--max-states")) {
+    const char* val = need_value();
+    if (!val) return true;
+    const long n = std::atol(val);
+    if (n < 1) {
+      std::fprintf(stderr, "%s: --max-states must be >= 1\n", argv[0]);
+      *usage_error = true;
+      return true;
+    }
+    o->file_opts.sg.max_states = static_cast<std::size_t>(n);
+  } else if (!std::strcmp(arg, "--threads")) {
+    const char* val = need_value();
+    if (!val) return true;
+    const int n = std::atoi(val);
+    if (n < 1) {
+      std::fprintf(stderr, "%s: --threads must be >= 1\n", argv[0]);
+      *usage_error = true;
+      return true;
+    }
+    o->budget.corpus = n;
+  } else if (!std::strcmp(arg, "--sg-threads")) {
+    const char* val = need_value();
+    if (!val) return true;
+    int n = 0;
+    if (!parse_thread_count(val, &n)) {
+      std::fprintf(stderr, "%s: %s must be a number >= 0\n", argv[0], arg);
+      *usage_error = true;
+      return true;
+    }
+    o->budget.graph = n;
+  } else if (!std::strcmp(arg, "--csc-threads")) {
+    // One knob for both per-candidate engines: the CSC trigger-pair
+    // search and the ring-environment pending-age rounds.
+    const char* val = need_value();
+    if (!val) return true;
+    int n = 0;
+    if (!parse_thread_count(val, &n)) {
+      std::fprintf(stderr, "%s: %s must be a number >= 0\n", argv[0], arg);
+      *usage_error = true;
+      return true;
+    }
+    o->budget.candidate = n;
+  } else if (!std::strcmp(arg, "--deadline-ms")) {
+    const char* val = need_value();
+    if (!val) return true;
+    char* end = nullptr;
+    const long n = std::strtol(val, &end, 10);
+    if (end == val || *end != '\0' || n < 0) {
+      std::fprintf(stderr, "%s: --deadline-ms must be a number >= 0\n",
+                   argv[0]);
+      *usage_error = true;
+      return true;
+    }
+    o->deadline_ms = n;
+  } else if (!std::strcmp(arg, "--shard")) {
+    const char* val = need_value();
+    if (!val) return true;
+    if (!parse_shard_spec(val, &o->shard, &o->shard_of)) {
+      std::fprintf(stderr,
+                   "%s: --shard wants I/N with 0 <= I < N, got '%s'\n",
+                   argv[0], val);
+      *usage_error = true;
+    }
+  } else if (!std::strcmp(arg, "--timings")) {
+    o->timings = true;
+  } else if (!std::strcmp(arg, "--trace")) {
+    o->trace = true;
+  } else if (!std::strcmp(arg, "--out")) {
+    const char* val = need_value();
+    if (val) o->out_path = val;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Parse a subcommand's flags against the subset it allows. Unknown flags
+/// and malformed values go to stderr with the command's usage; exit 2.
+/// `--help` prints usage to stdout and exits 0.
+CliOptions parse_or_exit(int argc, char** argv, const std::string& cmd,
+                         const std::vector<std::string>& allowed,
+                         bool accept_positional) {
+  CliOptions o;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      print_command_usage(stdout, argv[0], cmd);
+      std::exit(0);
+    }
+    if (arg[0] != '-') {
+      if (accept_positional) {
+        o.positional.push_back(arg);
+        continue;
+      }
+      std::fprintf(stderr, "%s %s: unexpected argument '%s'\n", argv[0],
+                   cmd.c_str(), arg);
+      print_command_usage(stderr, argv[0], cmd);
+      std::exit(2);
+    }
+    const bool known = std::find(allowed.begin(), allowed.end(),
+                                 std::string(arg)) != allowed.end();
+    bool usage_error = false;
+    if (!known || !parse_common_flag(argc, argv, &i, &o, &usage_error)) {
+      std::fprintf(stderr, "%s %s: unknown option '%s'\n", argv[0],
+                   cmd.c_str(), arg);
+      print_command_usage(stderr, argv[0], cmd);
+      std::exit(2);
+    }
+    if (usage_error) std::exit(2);
+  }
+  return o;
+}
+
+/// Assemble the corpus exactly like `batch` does — built-ins (when
+/// requested or when no files are given) followed by the --spec files in
+/// command-line order. Shard ids index into THIS order.
+std::vector<BatchSpec> build_corpus(const CliOptions& o) {
+  std::vector<BatchSpec> corpus;
+  if (o.use_builtin || o.spec_files.empty()) {
+    corpus = builtin_corpus(o.pipeline_stages);
+    // Built-ins take the user's reachability cap; the thread budget is
+    // context-level (FlowContext), so it needs no per-item copying.
+    for (auto& item : corpus) item.opts.sg.max_states = o.file_opts.sg.max_states;
+  }
+  for (auto& item : load_corpus_files(o.spec_files, o.file_opts))
+    corpus.push_back(std::move(item));
+  return corpus;
+}
+
+/// Write `text` to `out_path` (or stdout when empty). Returns false after
+/// reporting to stderr.
+bool write_output(const char* argv0, const std::string& out_path,
+                  const std::string& text) {
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv0,
+                 out_path.c_str());
+    return false;
+  }
+  const bool write_ok = std::fputs(text.c_str(), f) >= 0;
+  const bool close_ok = std::fclose(f) == 0;
+  if (!write_ok || !close_ok) {
+    std::fprintf(stderr, "%s: failed to write '%s'\n", argv0,
+                 out_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Context for one command: deadline token (if any) + thread budget.
+struct CliContext {
+  CancelToken token;
+  FlowContext ctx;
+  explicit CliContext(const CliOptions& o) {
+    ctx.budget = o.budget;
+    if (o.deadline_ms >= 0) {
+      token.set_timeout(std::chrono::milliseconds(o.deadline_ms));
+      ctx.cancel = &token;
+    }
+  }
+};
+
+const char* status_text(StageStatus s) {
+  switch (s) {
+    case StageStatus::kOk: return "ok";
+    case StageStatus::kSkipped: return "skipped";
+    case StageStatus::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+void print_trace(const PipelineResult& run) {
+  for (const StageTrace& t : run.trace) {
+    std::string metrics;
+    for (const StageMetric& m : t.metrics) {
+      metrics += metrics.empty() ? " [" : ", ";
+      metrics += m.key + "=" + std::to_string(m.value);
+    }
+    if (!metrics.empty()) metrics += "]";
+    std::fprintf(stderr, "stage %-20s %-7s %s%s (%.2f ms)\n",
+                 t.stage.c_str(), status_text(t.status),
+                 t.status == StageStatus::kFailed ? t.error_message.c_str()
+                                                  : t.summary.c_str(),
+                 metrics.c_str(), t.wall_ms);
+  }
+}
+
+// --- subcommands ------------------------------------------------------------
+
+int cmd_run(int argc, char** argv) {
+  const CliOptions o = parse_or_exit(
+      argc, argv, "run",
+      {"--spec", "--mode", "--max-states", "--sg-threads", "--csc-threads",
+       "--deadline-ms", "--trace", "--timings", "--out"},
+      /*accept_positional=*/false);
+  if (o.spec_files.size() != 1) {
+    std::fprintf(stderr, "%s run: exactly one --spec FILE.g is required\n",
+                 argv[0]);
+    print_command_usage(stderr, argv[0], "run");
+    return 2;
+  }
+  CliContext cli(o);
+
+  // Load through the same path batch uses so file problems surface as the
+  // same structured diagnostics.
+  std::vector<BatchSpec> corpus = load_corpus_files(o.spec_files, o.file_opts);
+  BatchResult result;
+  result.items.resize(1);
+  BatchItemResult& item = result.items[0];
+  item.name = corpus[0].name;
+  if (corpus[0].load_error) {
+    item.diagnostic = *corpus[0].load_error;
+  } else {
+    const auto start = std::chrono::steady_clock::now();
+    const PipelineResult run = FlowPipeline::standard(o.file_opts.mode)
+                                   .run(corpus[0].spec, corpus[0].opts,
+                                        cli.ctx);
+    if (o.trace) print_trace(run);
+    item = to_batch_item(corpus[0].name, run);
+    item.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  }
+  (item.ok ? result.ok_count : result.failed_count) += 1;
+  result.wall_ms = item.wall_ms;
+  if (!write_output(argv[0], o.out_path, to_json(result, o.timings)))
+    return 1;
+  return result.failed_count == 0 ? 0 : 1;
+}
+
+int cmd_batch(int argc, char** argv) {
+  const CliOptions o = parse_or_exit(
+      argc, argv, "batch",
+      {"--corpus", "--spec", "--pipeline-stages", "--mode", "--max-states",
+       "--threads", "--sg-threads", "--csc-threads", "--deadline-ms",
+       "--timings", "--out"},
+      /*accept_positional=*/false);
+  CliContext cli(o);
+  const BatchResult result = run_batch(build_corpus(o), cli.ctx);
+  if (!write_output(argv[0], o.out_path, to_json(result, o.timings)))
+    return 1;
+  return result.failed_count == 0 ? 0 : 1;
+}
+
+int cmd_shard(int argc, char** argv) {
+  const CliOptions o = parse_or_exit(
+      argc, argv, "shard",
+      {"--shard", "--corpus", "--spec", "--pipeline-stages", "--mode",
+       "--max-states", "--threads", "--sg-threads", "--csc-threads",
+       "--deadline-ms", "--out"},
+      /*accept_positional=*/false);
+  if (o.shard_of == 0) {
+    std::fprintf(stderr, "%s shard: --shard I/N is required\n", argv[0]);
+    print_command_usage(stderr, argv[0], "shard");
+    return 2;
+  }
+  CliContext cli(o);
+  const ShardRun run =
+      run_shard(build_corpus(o), o.shard, o.shard_of, cli.ctx);
+  int failed = 0;
+  for (const ShardItem& s : run.items) failed += s.item.ok ? 0 : 1;
+  if (!write_output(argv[0], o.out_path, to_shard_json(run))) return 1;
+  return failed == 0 ? 0 : 1;
+}
+
+int cmd_merge(int argc, char** argv) {
+  const CliOptions o = parse_or_exit(argc, argv, "merge", {"--out"},
+                                     /*accept_positional=*/true);
+  if (o.positional.empty()) {
+    std::fprintf(stderr, "%s merge: no shard files given\n", argv[0]);
+    print_command_usage(stderr, argv[0], "merge");
+    return 2;
+  }
+  std::vector<ShardRun> shards;
+  for (const std::string& path : o.positional) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s merge: cannot read '%s'\n", argv[0],
+                   path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      shards.push_back(parse_shard_json(text.str()));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s merge: %s: %s\n", argv[0], path.c_str(),
+                   e.what());
+      return 1;
+    }
+  }
+  BatchResult result;
+  try {
+    result = merge_shards(shards);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s merge: %s\n", argv[0], e.what());
+    return 1;
+  }
+  if (!write_output(argv[0], o.out_path, to_json(result))) return 1;
+  return result.failed_count == 0 ? 0 : 1;
+}
+
+int cmd_list(int argc, char** argv) {
+  const CliOptions o = parse_or_exit(
+      argc, argv, "list",
+      {"--corpus", "--spec", "--pipeline-stages", "--mode", "--max-states"},
+      /*accept_positional=*/false);
+  for (const auto& item : build_corpus(o)) std::puts(item.name.c_str());
+  return 0;
+}
+
 /// Write the builder specs as `.g` files — the reproducible half of the
 /// checked-in specs/ corpus (tools/gen_golden.sh re-runs this).
-int export_specs(const char* argv0, const std::string& dir) {
+int cmd_export_specs(int argc, char** argv) {
+  const CliOptions o = parse_or_exit(argc, argv, "export-specs", {},
+                                     /*accept_positional=*/true);
+  if (o.positional.size() != 1) {
+    std::fprintf(stderr, "%s export-specs: exactly one DIR is required\n",
+                 argv[0]);
+    print_command_usage(stderr, argv[0], "export-specs");
+    return 2;
+  }
+  const std::string& dir = o.positional[0];
   struct Item {
     const char* file;
     Stg spec;
@@ -87,18 +590,7 @@ int export_specs(const char* argv0, const std::string& dir) {
   };
   for (const Item& item : items) {
     const std::string path = dir + "/" + item.file;
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv0,
-                   path.c_str());
-      return 1;
-    }
-    const std::string text = write_stg(item.spec);
-    const bool write_ok = std::fputs(text.c_str(), f) >= 0;
-    if (!write_ok || std::fclose(f) != 0) {
-      std::fprintf(stderr, "%s: failed to write '%s'\n", argv0, path.c_str());
-      return 1;
-    }
+    if (!write_output(argv[0], path, write_stg(item.spec))) return 1;
   }
   return 0;
 }
@@ -106,138 +598,22 @@ int export_specs(const char* argv0, const std::string& dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool use_builtin = false;
-  bool timings = false;
-  bool list_only = false;
-  int pipeline_stages = 6;
-  std::string out_path;
-  std::string export_dir;
-  std::vector<std::string> spec_files;
-  FlowOptions file_opts;
-  BatchOptions batch_opts;
-
-  const auto need_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "%s: %s needs a value\n", argv[0], argv[i]);
-      std::exit(usage(argv[0], 2));
-    }
-    return argv[++i];
-  };
-
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
-      return usage(argv[0], 0);
-    } else if (!std::strcmp(arg, "--corpus")) {
-      const std::string kind = need_value(i);
-      if (kind != "builtin") {
-        std::fprintf(stderr, "%s: unknown corpus '%s'\n", argv[0],
-                     kind.c_str());
-        return 2;
-      }
-      use_builtin = true;
-    } else if (!std::strcmp(arg, "--spec")) {
-      spec_files.push_back(need_value(i));
-    } else if (!std::strcmp(arg, "--pipeline-stages")) {
-      pipeline_stages = std::atoi(need_value(i));
-      if (pipeline_stages < 1) {
-        std::fprintf(stderr, "%s: --pipeline-stages must be >= 1\n", argv[0]);
-        return 2;
-      }
-    } else if (!std::strcmp(arg, "--mode")) {
-      const std::string mode = need_value(i);
-      if (mode == "si") {
-        file_opts.mode = FlowMode::kSpeedIndependent;
-      } else if (mode == "rt") {
-        file_opts.mode = FlowMode::kRelativeTiming;
-      } else {
-        std::fprintf(stderr, "%s: unknown mode '%s'\n", argv[0], mode.c_str());
-        return 2;
-      }
-    } else if (!std::strcmp(arg, "--max-states")) {
-      const long n = std::atol(need_value(i));
-      if (n < 1) {
-        std::fprintf(stderr, "%s: --max-states must be >= 1\n", argv[0]);
-        return 2;
-      }
-      file_opts.sg.max_states = static_cast<std::size_t>(n);
-    } else if (!std::strcmp(arg, "--threads")) {
-      batch_opts.threads = std::atoi(need_value(i));
-      if (batch_opts.threads < 1) {
-        std::fprintf(stderr, "%s: --threads must be >= 1\n", argv[0]);
-        return 2;
-      }
-    } else if (!std::strcmp(arg, "--sg-threads")) {
-      int n = 0;
-      if (!parse_thread_count(need_value(i), &n)) {
-        std::fprintf(stderr, "%s: %s must be a number >= 0\n", argv[0], arg);
-        return 2;
-      }
-      file_opts.sg.threads = n;
-    } else if (!std::strcmp(arg, "--csc-threads")) {
-      // One knob for both per-candidate engines: the CSC trigger-pair
-      // search and the ring-environment pending-age rounds.
-      int n = 0;
-      if (!parse_thread_count(need_value(i), &n)) {
-        std::fprintf(stderr, "%s: %s must be a number >= 0\n", argv[0], arg);
-        return 2;
-      }
-      file_opts.encode.threads = n;
-      file_opts.rt.generate.threads = n;
-    } else if (!std::strcmp(arg, "--timings")) {
-      timings = true;
-    } else if (!std::strcmp(arg, "--out")) {
-      out_path = need_value(i);
-    } else if (!std::strcmp(arg, "--list")) {
-      list_only = true;
-    } else if (!std::strcmp(arg, "--export-specs")) {
-      export_dir = need_value(i);
-    } else {
-      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
-      return usage(argv[0], 2);
-    }
+  if (argc < 2) {
+    std::fprintf(stderr, kGlobalUsage, argv[0], argv[0]);
+    return 2;
   }
-
-  if (!export_dir.empty()) return export_specs(argv[0], export_dir);
-
-  std::vector<BatchSpec> corpus;
-  if (use_builtin || spec_files.empty()) {
-    corpus = builtin_corpus(pipeline_stages);
-    // Built-ins take the user's reachability settings (cap + sg-threads)
-    // and the candidate-level thread budget too.
-    for (auto& item : corpus) {
-      item.opts.sg = file_opts.sg;
-      item.opts.encode.threads = file_opts.encode.threads;
-      item.opts.rt.generate.threads = file_opts.rt.generate.threads;
-    }
-  }
-  for (auto& item : load_corpus_files(spec_files, file_opts))
-    corpus.push_back(std::move(item));
-
-  if (list_only) {
-    for (const auto& item : corpus) std::puts(item.name.c_str());
+  const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    std::printf(kGlobalUsage, argv[0], argv[0]);
     return 0;
   }
-
-  const BatchResult result = run_batch(corpus, batch_opts);
-  const std::string json = to_json(result, timings);
-
-  if (out_path.empty()) {
-    std::fputs(json.c_str(), stdout);
-  } else {
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
-                   out_path.c_str());
-      return 1;
-    }
-    const bool write_ok = std::fputs(json.c_str(), f) >= 0;
-    const bool close_ok = std::fclose(f) == 0;
-    if (!write_ok || !close_ok) {
-      std::fprintf(stderr, "%s: failed to write '%s'\n", argv[0],
-                   out_path.c_str());
-      return 1;
-    }
-  }
-  return result.failed_count == 0 ? 0 : 1;
+  if (cmd == "run") return cmd_run(argc, argv);
+  if (cmd == "batch") return cmd_batch(argc, argv);
+  if (cmd == "shard") return cmd_shard(argc, argv);
+  if (cmd == "merge") return cmd_merge(argc, argv);
+  if (cmd == "list") return cmd_list(argc, argv);
+  if (cmd == "export-specs") return cmd_export_specs(argc, argv);
+  std::fprintf(stderr, "%s: unknown command '%s'\n", argv[0], cmd.c_str());
+  std::fprintf(stderr, kGlobalUsage, argv[0], argv[0]);
+  return 2;
 }
