@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "bm/burstmode.hpp"
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "rt/assumption.hpp"
 #include "rt/generate.hpp"
 #include "rt/reduce.hpp"

@@ -8,7 +8,7 @@
 
 #include "bm/burstmode.hpp"
 #include "dft/faultsim.hpp"
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "sim/stgenv.hpp"
 #include "stg/builders.hpp"
 #include "synth/pulse.hpp"

@@ -12,7 +12,7 @@
 #include <functional>
 #include <unordered_map>
 
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "rt/generate.hpp"
 #include "rt/reduce.hpp"
 #include "sg/encode.hpp"

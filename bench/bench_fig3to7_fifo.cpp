@@ -7,7 +7,7 @@
 //   Fig 7: pulse-mode cell (handshakes replaced by 4 protocol arcs).
 #include <cstdio>
 
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "rt/assumption.hpp"
 #include "sg/analysis.hpp"
 #include "stg/builders.hpp"

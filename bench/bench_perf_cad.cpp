@@ -3,7 +3,7 @@
 // quantify the explicit-state design decision recorded in DESIGN.md.
 #include <benchmark/benchmark.h>
 
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "logic/minimize.hpp"
 #include "rt/generate.hpp"
 #include "rt/reduce.hpp"

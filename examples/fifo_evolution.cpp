@@ -4,7 +4,7 @@
 // constraints, and simulated cycle time.
 #include <cstdio>
 
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "rt/assumption.hpp"
 #include "sim/stgenv.hpp"
 #include "stg/builders.hpp"

@@ -7,7 +7,7 @@
 // Without an argument, the paper's FIFO controller is used.
 #include <cstdio>
 
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "stg/builders.hpp"
 #include "stg/parse.hpp"
 

@@ -49,10 +49,15 @@ BatchItemResult to_batch_item(const std::string& name,
     r.states = flow.states;
     r.states_reduced = flow.states_reduced;
     r.state_signals_added = flow.state_signals_added;
-    r.literals = flow.literals();
-    r.transistors = flow.netlist().transistor_count();
+    // Early stop points (stop_after before the synth stage) have no
+    // netlist; the synthesis statistics stay zero.
+    if (flow.has_netlist()) {
+      r.literals = flow.literals();
+      r.transistors = flow.netlist().transistor_count();
+    }
     r.constraints = flow.rt ? flow.rt->constraints.size() : 0;
     r.stages = flow.stages;
+    if (flow.mapped) r.netlist_text = flow.final_netlist().to_text();
   } else {
     r.diagnostic = BatchDiagnostic{run.error->kind, run.error->message};
   }

@@ -75,6 +75,11 @@ struct BatchItemResult {
   int transistors = 0;
   std::size_t constraints = 0;
   std::vector<FlowStage> stages;
+  /// Canonical netlist dump (Netlist::to_text of the flow's final — sized
+  /// — netlist). Filled only when the item ran the map stage or later;
+  /// NOT part of the item record JSON (the record byte-contract predates
+  /// the back end) — drivers write it to per-spec `.nl` files instead.
+  std::string netlist_text;
   double wall_ms = 0;  ///< excluded from canonical JSON
 };
 

@@ -2,13 +2,49 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "rt/reduce.hpp"
 #include "util/strings.hpp"
 
 namespace rtcad {
+
+const std::vector<StageInfo>& stage_registry() {
+  // Ranks are the Figure 2 order; "synth" shares rank 5 with the two
+  // mode-specific synthesis stages so `--to synth` cuts a mixed-mode
+  // batch at one consistent line.
+  static const std::vector<StageInfo> kRegistry = {
+      {"specification", 0, true, true,
+       "parse + validate the STG specification"},
+      {"reachability", 1, true, true,
+       "state-graph build and hazard/CSC analysis"},
+      {"encode", 2, true, true, "timing-aware state encoding (CSC)"},
+      {"generate-assumptions", 3, true, false,
+       "relative-timing assumption generation"},
+      {"reduce", 4, true, false, "lazy state graph (concurrency reduction)"},
+      {"synth-rt", 5, true, false, "RT logic synthesis + back-annotation"},
+      {"synth-si", 5, false, true, "speed-independent logic synthesis"},
+      {"synth", 5, true, true, "alias for the mode's synthesis stage"},
+      {"map", 6, true, true,
+       "technology mapping + constraint lowering to nets"},
+      {"size", 7, true, true, "transistor sizing for race margins"},
+      {"verify-netlist", 8, true, true,
+       "conformance check of the mapped netlist against the spec"},
+  };
+  return kRegistry;
+}
+
+int stage_rank(const std::string& name) {
+  for (const StageInfo& s : stage_registry())
+    if (name == s.name) return s.rank;
+  return -1;
+}
+
 namespace {
+
+/// Rank of the default stop point: the mode's synthesis stage.
+constexpr int kSynthRank = 5;
 
 double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -274,6 +310,165 @@ void stage_synth_rt(PipelineState* st, StageTrace* trace) {
                    result.rt->constraints.size()));
 }
 
+// --- the Figure 2 back end ---------------------------------------------------
+
+/// Technology map checkpoint. The synthesizers already emit standard-cell
+/// netlists, so the mapped netlist is a validated COPY of the synthesis
+/// result (the size stage mutates the copy's drive scales, never the
+/// synthesis artifact), plus the back-annotated RT constraints lowered
+/// from signal edges to net orderings — the vocabulary of every stage
+/// after this one.
+void stage_map(PipelineState* st, StageTrace* trace) {
+  FlowResult& result = st->result;
+  MapReport rep;
+  rep.netlist = result.netlist();
+  rep.netlist.validate();
+  if (result.rt) {
+    for (const RtConstraint& c : result.rt->constraints)
+      rep.constraints.push_back(
+          NetConstraint{result.spec.signal(c.before.signal).name, c.before.pol,
+                        result.spec.signal(c.after.signal).name, c.after.pol});
+  }
+  rep.cells = rep.netlist.num_gates();
+  rep.nets = rep.netlist.num_nets();
+  rep.transistors = rep.netlist.transistor_count();
+  for (int n = 0; n < rep.netlist.num_nets(); ++n)
+    if (rep.netlist.net(n).is_primary_output)
+      rep.depth = std::max(rep.depth, rep.netlist.logic_depth(n));
+  metric(trace, "cells", rep.cells);
+  metric(trace, "nets", rep.nets);
+  metric(trace, "transistors", rep.transistors);
+  metric(trace, "depth", rep.depth);
+  metric(trace, "net_constraints",
+         static_cast<long long>(rep.constraints.size()));
+  legacy(st, trace, "technology mapping",
+         strprintf("%d cells, %d nets, %d transistors, depth %d, "
+                   "%zu net constraints",
+                   rep.cells, rep.nets, rep.transistors, rep.depth,
+                   rep.constraints.size()));
+  result.mapped = std::move(rep);
+}
+
+/// Sum over gates of transistors x delay_scale, in hundredths — an
+/// integer, so canonical output never formats a raw double.
+long long width_x100_of(const Netlist& nl) {
+  long long total = 0;
+  for (int g = 0; g < nl.num_gates(); ++g)
+    total += std::llround(
+        Library::standard().cell(nl.gate(g).cell).transistors *
+        nl.gate(g).delay_scale * 100.0);
+  return total;
+}
+
+/// Transistor sizing (Section 6): buy each lowered constraint's race
+/// margin by scaling slow-side gate delays. SI netlists carry no lowered
+/// constraints, so the stage is a recorded no-op there. A constraint the
+/// separation analysis cannot lower to a path pair (no common causal
+/// source) makes the report `inconclusive` — a reported property, never a
+/// flow failure: the netlist keeps the scales applied up to that point.
+void stage_size(PipelineState* st, StageTrace* trace) {
+  FlowResult& result = st->result;
+  MapReport& mapped = *result.mapped;
+  SizeReport rep;
+  if (mapped.constraints.empty()) {
+    trace->status = StageStatus::kSkipped;
+    trace->summary = "no timing constraints to size for";
+    rep.result.feasible = true;
+  } else {
+    try {
+      rep.result = size_for_constraints(&mapped.netlist, result.spec,
+                                        mapped.constraints, st->opts.sizing);
+    } catch (const FlowCancelled&) {
+      throw;
+    } catch (const Error& e) {
+      rep.inconclusive = true;
+      rep.note = e.what();
+    }
+  }
+  for (int g = 0; g < mapped.netlist.num_gates(); ++g)
+    if (mapped.netlist.gate(g).delay_scale > 1.0) ++rep.gates_scaled;
+  rep.width_x100 = width_x100_of(mapped.netlist);
+  int met = 0;
+  for (const bool m : rep.result.met) met += m ? 1 : 0;
+  metric(trace, "constraints",
+         static_cast<long long>(mapped.constraints.size()));
+  metric(trace, "feasible", rep.result.feasible ? 1 : 0);
+  metric(trace, "met", met);
+  metric(trace, "iterations", rep.result.iterations);
+  metric(trace, "gates_scaled", rep.gates_scaled);
+  metric(trace, "width_x100", rep.width_x100);
+  if (trace->status != StageStatus::kSkipped) {
+    std::string detail = strprintf(
+        "%zu constraints, %d met in %d iterations, %d gates scaled, "
+        "total width %lld.%02lld",
+        mapped.constraints.size(), met, rep.result.iterations,
+        rep.gates_scaled, rep.width_x100 / 100, rep.width_x100 % 100);
+    if (rep.inconclusive) detail += "; inconclusive: " + rep.note;
+    legacy(st, trace, "transistor sizing", detail);
+  }
+  result.sizing = std::move(rep);
+}
+
+/// Conformance verification of the sized netlist under unbounded delays
+/// (Section 5), with the lowered RT constraints applied as interleaving
+/// pruning. Non-conformance is a REPORTED property — RT circuits are not
+/// speed-independent by design, that is the price of removing the
+/// handshake overhead — and an exceeded composed-state cap makes the
+/// verdict inconclusive; neither fails the flow. Netlists wider than the
+/// composed checker's 64-net bound skip the stage (the checker would
+/// assert otherwise).
+void stage_verify_netlist(PipelineState* st, StageTrace* trace) {
+  FlowResult& result = st->result;
+  const MapReport& mapped = *result.mapped;
+  ConformanceReport rep;
+  ConformanceOptions copts = st->opts.verify;
+  for (const NetConstraint& c : mapped.constraints)
+    copts.constraints.push_back(c);
+  rep.constraints_applied = copts.constraints.size();
+  if (mapped.netlist.num_nets() > 64) {
+    rep.note = strprintf("netlist has %d nets; composed checker is bounded "
+                         "at 64", mapped.netlist.num_nets());
+    trace->status = StageStatus::kSkipped;
+    trace->summary = rep.note;
+    metric(trace, "conformant", 0);
+    metric(trace, "states_checked", 0);
+    metric(trace, "constraints",
+           static_cast<long long>(rep.constraints_applied));
+    metric(trace, "trace_events", 0);
+    result.conformance = std::move(rep);
+    return;
+  }
+  try {
+    rep.result = verify_conformance(mapped.netlist, result.spec, copts);
+    rep.ran = true;
+  } catch (const FlowCancelled&) {
+    throw;
+  } catch (const Error& e) {
+    rep.ran = true;
+    rep.note = e.what();
+  }
+  metric(trace, "conformant", rep.result.ok ? 1 : 0);
+  metric(trace, "states_checked", rep.result.states_explored);
+  metric(trace, "constraints",
+         static_cast<long long>(rep.constraints_applied));
+  metric(trace, "trace_events",
+         static_cast<long long>(rep.result.trace.size()));
+  std::string detail;
+  if (!rep.note.empty()) {
+    detail = "inconclusive: " + rep.note;
+  } else if (rep.result.ok) {
+    detail = strprintf("conforms under %zu constraints; %d composed states",
+                       rep.constraints_applied, rep.result.states_explored);
+  } else {
+    detail = strprintf("%s; counterexample after %zu events "
+                       "(%zu constraints, %d composed states)",
+                       rep.result.failure.c_str(), rep.result.trace.size(),
+                       rep.constraints_applied, rep.result.states_explored);
+  }
+  legacy(st, trace, "conformance", detail);
+  result.conformance = std::move(rep);
+}
+
 /// Map an in-flight exception to the batch diagnostic vocabulary. The
 /// catch order mirrors flow/batchflow's historical mapping; FlowCancelled
 /// gets its own kind so a killed run is never read as an infeasible spec.
@@ -313,6 +508,8 @@ FlowOptions effective_options(const FlowOptions& opts, const FlowContext& ctx) {
     eff.encode.cancel = ctx.cancel;
     eff.encode.sg.cancel = ctx.cancel;
     eff.rt.generate.cancel = ctx.cancel;
+    eff.sizing.cancel = ctx.cancel;
+    eff.verify.cancel = ctx.cancel;
   }
   return eff;
 }
@@ -328,6 +525,9 @@ FlowPipeline::FlowPipeline(FlowMode mode) : mode_(mode) {
   } else {
     names_.push_back("synth-si");
   }
+  names_.push_back("map");
+  names_.push_back("size");
+  names_.push_back("verify-netlist");
 }
 
 FlowPipeline FlowPipeline::standard(FlowMode mode) {
@@ -352,7 +552,18 @@ PipelineResult FlowPipeline::run(const Stg& spec, const FlowOptions& opts,
       std::min(st.opts.encode.sg.max_states, st.opts.sg.max_states);
   st.encode_opts.sg.threads = st.opts.sg.threads;
 
+  // Resolve the stop point once, by rank: the default (empty) is the
+  // mode's synthesis stage — the legacy end of the flow.
+  int stop = kSynthRank;
+  if (!st.opts.stop_after.empty()) {
+    stop = stage_rank(st.opts.stop_after);
+    if (stop < 0)
+      throw Error("unknown flow stage '" + st.opts.stop_after +
+                  "' (see list-stages)");
+  }
+
   for (const std::string& name : names_) {
+    if (stage_rank(name) > stop) break;
     StageTrace trace;
     trace.stage = name;
     const auto start = std::chrono::steady_clock::now();
@@ -372,6 +583,12 @@ PipelineResult FlowPipeline::run(const Stg& spec, const FlowOptions& opts,
         stage_synth_rt(&st, &trace);
       } else if (name == "synth-si") {
         stage_synth_si(&st, &trace);
+      } else if (name == "map") {
+        stage_map(&st, &trace);
+      } else if (name == "size") {
+        stage_size(&st, &trace);
+      } else if (name == "verify-netlist") {
+        stage_verify_netlist(&st, &trace);
       } else {
         RTCAD_ASSERT(!"unknown pipeline stage");
       }

@@ -2,9 +2,11 @@
 // stages instead of one monolithic driver function.
 //
 //   specification -> reachability -> encode -> [generate-assumptions ->
-//   reduce -> synth-rt]   (relative-timing mode)
+//   reduce -> synth-rt]                          (relative-timing mode)
 //   specification -> reachability -> encode -> [synth-si]
 //                                              (speed-independent mode)
+//   ... then, past the default stop point, the shared Figure 2 back end:
+//   -> map -> size -> verify-netlist
 //
 // Every stage reads and writes a shared blackboard; the pipeline runs
 // them in order under one FlowContext (thread budget + cancellation) and
@@ -12,21 +14,34 @@
 // summary, and a per-stage error channel — alongside the legacy
 // FlowResult it assembles.
 //
+// Stages are first-class, user-addressable objects: the registry below
+// names every canonical stage with its rank in the Figure 2 order, and
+// `FlowOptions::stop_after` (CLI `run --to <stage>`) cuts the run after
+// the named rank. The DEFAULT stop point is the synth stage — the
+// historical end of the flow — so every legacy golden, wrapper and JSON
+// byte is preserved; the back end (map, size, verify-netlist) is opt-in.
+//
 // Contracts:
 //
-//  * Behavior preservation. With a default FlowContext, the pipeline is
-//    byte-identical to the historical `run_flow`: same FlowStage lines in
-//    the same order, same statistics, same error messages. `run_flow`
-//    itself is now a thin wrapper over this API and the golden corpus
-//    proves the equivalence.
+//  * Behavior preservation. With a default FlowContext and the default
+//    stop point, the pipeline is byte-identical to the historical
+//    `run_flow`: same FlowStage lines in the same order, same statistics,
+//    same error messages. `run_flow` itself is now a thin wrapper over
+//    this API and the golden corpus proves the equivalence.
 //  * Deterministic errors. A failing stage produces a StageError naming
 //    the stage, a diagnostic kind from the batch vocabulary ("parse",
 //    "spec", "cancelled", "internal") and the exact message; the original
 //    exception is preserved for wrappers that need to rethrow.
 //  * No skipped-stage surprises. Stages that a particular spec does not
 //    need (encode when CSC already holds, reduce when the encode stage
-//    already reduced during its feasibility probe) still appear in the
-//    trace, marked StageStatus::kSkipped.
+//    already reduced during its feasibility probe, verify-netlist when
+//    the netlist exceeds the composed checker's bound) still appear in
+//    the trace, marked StageStatus::kSkipped.
+//  * Reported, not fatal. Back-end analysis outcomes — infeasible sizing,
+//    non-conformance under unbounded delays (expected for RT circuits:
+//    that is the price of removing the handshake overhead), an exceeded
+//    composed-state cap — are reported through the stage's artifact and
+//    trace, never as flow failures: the sized netlist is still produced.
 #pragma once
 
 #include <exception>
@@ -38,6 +53,30 @@
 #include "flow/rtflow.hpp"
 
 namespace rtcad {
+
+/// One canonical stage: its user-addressable name, its rank in the
+/// Figure 2 order, and which modes run it. Ranks are the stop-after
+/// vocabulary — `stop_after = name` runs every stage of the item's mode
+/// whose rank is <= the named stage's rank, which gives mixed-mode
+/// batches one consistent cut line (e.g. `--to reduce` on an SI item
+/// runs through encode, the last SI stage at or before rank 4).
+struct StageInfo {
+  const char* name;
+  int rank;
+  bool in_rt;
+  bool in_si;
+  const char* title;  ///< human-readable label for list-stages / docs
+};
+
+/// Every canonical stage plus the "synth" mode-neutral alias, in rank
+/// order. The single source of truth for CLI `list-stages`, stop-after
+/// validation, and the README's Figure 2 table.
+const std::vector<StageInfo>& stage_registry();
+
+/// Rank of a canonical stage name ("synth" alias included); -1 when the
+/// name is unknown. The empty string is NOT accepted here — callers
+/// resolve the default stop point (the mode's synth stage) themselves.
+int stage_rank(const std::string& name);
 
 /// Everything a pipeline run produces. `flow` carries the legacy result
 /// (and is only meaningful when `!error`); `trace` always describes what
@@ -63,18 +102,22 @@ class FlowPipeline {
   /// The standard Figure 2 stage sequence for `mode`. Stage names:
   /// "specification", "reachability", "encode", then either
   /// "generate-assumptions", "reduce", "synth-rt" (relative timing) or
-  /// "synth-si" (speed independent).
+  /// "synth-si" (speed independent), then the shared back end "map",
+  /// "size", "verify-netlist".
   static FlowPipeline standard(FlowMode mode);
 
-  /// Stage names in execution order.
+  /// Stage names in execution order (the full sequence; a run cuts at
+  /// `FlowOptions::stop_after`, default = the synth stage).
   const std::vector<std::string>& stage_names() const { return names_; }
 
-  /// Run every stage in order. Never throws for flow-level reasons: a
-  /// stage failure is reported through PipelineResult::error (with the
-  /// original exception preserved); cancellation likewise, with kind
-  /// "cancelled". The context's thread budget overrides the scattered
-  /// per-stage thread options wherever it is set (>= 0), and its cancel
-  /// token is threaded into every stage.
+  /// Run every stage in order up to the stop point. Never throws for
+  /// flow-level reasons: a stage failure is reported through
+  /// PipelineResult::error (with the original exception preserved);
+  /// cancellation likewise, with kind "cancelled". The context's thread
+  /// budget overrides the scattered per-stage thread options wherever it
+  /// is set (>= 0), and its cancel token is threaded into every stage.
+  /// An unknown `opts.stop_after` throws rtcad::Error — that is an API
+  /// contract violation, not a flow outcome; the CLI pre-validates.
   PipelineResult run(const Stg& spec, const FlowOptions& opts,
                      const FlowContext& ctx = {}) const;
 

@@ -2,10 +2,16 @@
 //
 //   Specification STG -> Reachability analysis -> [Timing-aware state
 //   encoding] -> RT-assumption generation -> Lazy state graph -> Logic
-//   synthesis -> RT circuit + back-annotated required constraints.
+//   synthesis -> Technology map -> Transistor sizing -> Conformance
+//   verification -> verified, sized netlist + required constraints.
 //
 // Two modes: speed-independent (no timing assumptions; the Figure 4 world)
 // and relative-timing (the Figure 5/6 world).
+//
+// The default stop point is logic synthesis — the historical end of the
+// flow, and the point every legacy golden is cut at. The Figure 2 back
+// end (map, size, verify-netlist) is opted into with
+// `FlowOptions::stop_after` (CLI: `rtflow_cli run --to verify-netlist`).
 #pragma once
 
 #include <optional>
@@ -16,6 +22,8 @@
 #include "sg/encode.hpp"
 #include "synth/gatesynth.hpp"
 #include "synth/rtsynth.hpp"
+#include "synth/sizing.hpp"
+#include "verify/conformance.hpp"
 
 namespace rtcad {
 
@@ -32,6 +40,61 @@ struct FlowOptions {
   EncodeOptions encode;
   SynthOptions si;
   RtSynthOptions rt;
+  /// Race margins for the `size` stage.
+  SizingOptions sizing;
+  /// Conformance checking for the `verify-netlist` stage. `constraints`
+  /// are EXTRA user-supplied net orderings; the back-annotated RT
+  /// constraints are lowered and applied automatically. The cap is the
+  /// COMPOSED (circuit x spec) state count, deliberately smaller than the
+  /// reachability default: exceeding it makes the verdict "inconclusive",
+  /// never a flow failure.
+  ConformanceOptions verify = {{}, std::size_t{1} << 16};
+  /// Canonical name of the last stage to run (see the stage registry in
+  /// flow/pipeline.hpp). Empty — the default — means the mode's synth
+  /// stage, which is the legacy stop point: every pre-existing golden,
+  /// wrapper and JSON byte stays identical. "synth" is accepted as a
+  /// mode-neutral alias. In a mixed-mode batch each item stops after the
+  /// last of ITS stages at or before the named stage's canonical rank.
+  std::string stop_after;
+};
+
+/// The `map` stage's artifact: the flow's final technology-mapped netlist
+/// (a copy of the synth result's — the `size` stage mutates the copy's
+/// drive scales, never the synthesis result) plus the back-annotated RT
+/// constraints lowered to net-level orderings.
+struct MapReport {
+  Netlist netlist;
+  /// RT constraints as net orderings (empty in SI mode) — the input
+  /// vocabulary of sizing and conformance checking.
+  std::vector<NetConstraint> constraints;
+  int cells = 0;        ///< gates mapped onto the standard library
+  int nets = 0;
+  int transistors = 0;
+  int depth = 0;        ///< worst logic depth over primary outputs
+};
+
+/// The `size` stage's artifact. `inconclusive` marks constraints the
+/// separation analysis could not lower to a path pair (no common causal
+/// source); the netlist keeps whatever scales were applied up to there.
+struct SizeReport {
+  SizingResult result;
+  bool inconclusive = false;
+  std::string note;        ///< diagnostic when inconclusive
+  int gates_scaled = 0;    ///< gates with delay_scale > 1 after sizing
+  /// Sum over gates of transistors x delay_scale, in hundredths — the
+  /// "transistor width total" the race margins were bought with.
+  long long width_x100 = 0;
+};
+
+/// The `verify-netlist` stage's artifact. `ran` is false when the netlist
+/// exceeds the composed checker's 64-net bound (the stage is then marked
+/// skipped); `note` carries the reason when the check was inconclusive
+/// (composed state cap exceeded).
+struct ConformanceReport {
+  ConformanceResult result;
+  bool ran = false;
+  std::string note;
+  std::size_t constraints_applied = 0;
 };
 
 struct FlowStage {
@@ -47,9 +110,24 @@ struct FlowResult {
   int states_reduced = 0;  ///< after RT concurrency reduction (RT mode)
   std::optional<SynthResult> si;
   std::optional<RtSynthResult> rt;
+  /// Back-end artifacts, present once the corresponding stage ran
+  /// (`stop_after` at "map" or later) — typed accessors onto the pipeline
+  /// blackboard, so callers never re-run a stage to get its output.
+  std::optional<MapReport> mapped;
+  std::optional<SizeReport> sizing;
+  std::optional<ConformanceReport> conformance;
   std::vector<FlowStage> stages;
 
+  /// Did the flow reach logic synthesis? False for early stop points
+  /// (`stop_after` before the synth stage); netlist()/literals() must not
+  /// be called then.
+  bool has_netlist() const { return rt.has_value() || si.has_value(); }
   const Netlist& netlist() const { return rt ? rt->netlist : si->netlist; }
+  /// The flow's final netlist: the mapped (and, after the size stage,
+  /// sized) copy when the back end ran, the synthesis netlist otherwise.
+  const Netlist& final_netlist() const {
+    return mapped ? mapped->netlist : netlist();
+  }
   int literals() const { return rt ? rt->literals : si->literals; }
 };
 

@@ -326,6 +326,10 @@ std::string corpus_fingerprint(const std::vector<BatchSpec>& corpus) {
     mix(item.name);
     mix(item.opts.mode == FlowMode::kRelativeTiming ? "rt" : "si");
     mix(std::to_string(item.opts.sg.max_states));
+    // Result-shaping: shards cut at different stop points must never
+    // merge. The empty string (the default = the synth stage) keeps the
+    // pre-back-end fingerprints unchanged.
+    mix(item.opts.stop_after);
   }
   return strprintf("%016llx", static_cast<unsigned long long>(h));
 }

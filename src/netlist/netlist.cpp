@@ -1,6 +1,9 @@
 #include "netlist/netlist.hpp"
 
+#include <cmath>
 #include <functional>
+
+#include "util/strings.hpp"
 
 namespace rtcad {
 
@@ -108,7 +111,14 @@ std::string Netlist::to_text() const {
       if (i) out += ", ";
       out += nets_[g.inputs[i]].name;
     }
-    out += ")\n";
+    out += ")";
+    // Drive scale, composed from integers so the dump is locale-proof.
+    // Sizing steps are x1.3 from 1.0, so hundredths are exact enough;
+    // llround keeps 1.3*1.3 = 1.69 from printing as 1.68.
+    const long long scale_x100 = std::llround(g.delay_scale * 100.0);
+    if (scale_x100 != 100)
+      out += strprintf(" *%lld.%02lld", scale_x100 / 100, scale_x100 % 100);
+    out += "\n";
   }
   for (int n = 0; n < num_nets(); ++n) {
     if (nets_[n].is_primary_output) out += ".output " + nets_[n].name + "\n";

@@ -30,6 +30,7 @@ SizingResult size_for_constraints(
 
   for (result.iterations = 0; result.iterations < opts.max_iterations;
        ++result.iterations) {
+    if (opts.cancel) opts.cancel->check("sizing");
     bool all_met = true;
     for (std::size_t i = 0; i < constraints.size(); ++i) {
       const PathConstraint pc = derive_path_constraint(

@@ -16,6 +16,7 @@
 
 #include "netlist/netlist.hpp"
 #include "stg/stg.hpp"
+#include "util/cancel.hpp"
 #include "verify/conformance.hpp"
 #include "verify/separation.hpp"
 
@@ -28,6 +29,9 @@ struct SizingOptions {
   double max_scale = 4.0;
   int max_iterations = 32;
   SeparationOptions separation;
+  /// Checked once per outer iteration ("cancelled during sizing"): a
+  /// pre-run cancel fails with byte-identical bytes at any thread count.
+  const CancelToken* cancel = nullptr;
 };
 
 struct SizingResult {

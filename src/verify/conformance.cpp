@@ -116,6 +116,8 @@ class Checker {
       queue.pop_front();
       const ComposedState state = states[si];
       ++result.states_explored;
+      if (opts_.cancel && result.states_explored % 256 == 1)
+        opts_.cancel->check("conformance");
       if (states.size() > opts_.max_states)
         throw SpecError("conformance state space exceeds limit");
 

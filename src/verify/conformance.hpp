@@ -16,6 +16,7 @@
 
 #include "netlist/netlist.hpp"
 #include "stg/stg.hpp"
+#include "util/cancel.hpp"
 
 namespace rtcad {
 
@@ -34,6 +35,10 @@ NetConstraint parse_net_constraint(const std::string& text);
 struct ConformanceOptions {
   std::vector<NetConstraint> constraints;
   std::size_t max_states = 1u << 20;
+  /// Checked every 256 popped composed states ("cancelled during
+  /// conformance"): a pre-run cancel fails with identical bytes at any
+  /// thread count; the exploration itself is single-threaded.
+  const CancelToken* cancel = nullptr;
 };
 
 struct ConformanceResult {

@@ -2,7 +2,7 @@
 
 #include <fstream>
 
-#include "flow/batchflow.hpp"
+#include "flow/flow.hpp"
 #include "stg/builders.hpp"
 #include "stg/parse.hpp"
 

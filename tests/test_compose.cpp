@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "netlist/compose.hpp"
 #include "sim/sim.hpp"
 #include "sim/stgenv.hpp"

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "dft/faultsim.hpp"
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "stg/builders.hpp"
 #include "synth/pulse.hpp"
 

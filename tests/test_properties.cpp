@@ -6,7 +6,7 @@
 #include <algorithm>
 #include <array>
 
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "rt/generate.hpp"
 #include "rt/reduce.hpp"
 #include "sg/analysis.hpp"

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "rt/assumption.hpp"
 #include "rt/generate.hpp"
 #include "rt/reduce.hpp"

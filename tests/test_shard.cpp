@@ -3,7 +3,7 @@
 // merging N shard files is byte-identical to one single-process batch.
 #include <gtest/gtest.h>
 
-#include "flow/shard.hpp"
+#include "flow/flow.hpp"
 #include "stg/builders.hpp"
 
 namespace rtcad {

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "dft/redundancy.hpp"
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "stg/builders.hpp"
 #include "synth/sizing.hpp"
 #include "verify/conformance.hpp"

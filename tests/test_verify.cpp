@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "flow/rtflow.hpp"
+#include "flow/flow.hpp"
 #include "stg/builders.hpp"
 #include "verify/conformance.hpp"
 #include "verify/separation.hpp"

@@ -1,22 +1,30 @@
 #!/usr/bin/env bash
-# Regenerate the specs/ corpus golden JSON.
+# Regenerate the specs/ corpus goldens.
 #
-#   tools/gen_golden.sh [output.json] [sg-threads] [csc-threads]
+#   tools/gen_golden.sh [output.json] [sg-threads] [csc-threads] \
+#                       [backend.json|-] [netlist-dir]
 #
 # Re-exports the built-in builder specs into specs/ (so the checked-in .g
 # files can never drift from the builders), then runs rtflow_cli over the
-# whole specs/*.g glob and writes the canonical JSON (default:
-# specs/golden.json). The second argument sets --sg-threads for the
-# graph-level parallel builder, the third --csc-threads for the
-# candidate-level CSC search and ring-environment rounds (both default 1);
-# the output must be byte-identical at every value — CI's determinism
-# matrix runs this across sg-threads × csc-threads in {1,2,8} and compares
-# every cell against the checked-in golden. Any behaviour change in the
-# flow must come with a regenerated golden in the same commit.
+# whole specs/*.g glob twice:
 #
-# The output is written atomically (temp file + rename): if rtflow_cli is
-# missing, crashes, or rejects a spec, the script fails loudly and never
-# leaves a truncated or half-written golden behind.
+#   1. at the default stop point (the synth stage) -> the canonical batch
+#      JSON (default: specs/golden.json) — the legacy golden, unchanged
+#      in byte content by the back end;
+#   2. at --to verify-netlist -> the back-end golden JSON (default:
+#      specs/golden_backend.json) plus one canonical netlist dump per
+#      spec (default: specs/netlists/<spec>.nl).
+#
+# Pass "-" as the 4th argument to skip the back-end half. The 2nd/3rd
+# arguments set --sg-threads / --csc-threads (both default 1); every
+# output must be byte-identical at every value — CI's determinism matrix
+# runs this across sg-threads × csc-threads and compares every cell
+# against the checked-in goldens. Any behaviour change in the flow must
+# come with regenerated goldens in the same commit.
+#
+# Outputs are written atomically (temp file/dir + rename): if rtflow_cli
+# is missing, crashes, or rejects a spec, the script fails loudly and
+# never leaves a truncated or half-written golden behind.
 set -euo pipefail
 LC_ALL=C
 export LC_ALL
@@ -27,6 +35,8 @@ CLI="$BUILD_DIR/rtflow_cli"
 OUT=${1:-specs/golden.json}
 SG_THREADS=${2:-1}
 CSC_THREADS=${3:-1}
+BACKEND_OUT=${4:-specs/golden_backend.json}
+NETLIST_DIR=${5:-specs/netlists}
 
 if [ ! -x "$CLI" ]; then
   echo "gen_golden.sh: ERROR: $CLI not built or not executable" >&2
@@ -61,3 +71,26 @@ mv "$TMP" "$OUT"
 trap - EXIT
 echo "gen_golden.sh: wrote $OUT ($# specs, sg-threads=$SG_THREADS," \
   "csc-threads=$CSC_THREADS)"
+
+if [ "$BACKEND_OUT" = "-" ]; then
+  exit 0
+fi
+
+BTMP=$(mktemp "$BACKEND_OUT.tmp.XXXXXX")
+NTMP=$(mktemp -d "$NETLIST_DIR.tmp.XXXXXX")
+trap 'rm -rf "$BTMP" "$NTMP"' EXIT
+
+# shellcheck disable=SC2086
+if ! "$CLI" batch $args --mode rt --threads 4 --sg-threads "$SG_THREADS" \
+    --csc-threads "$CSC_THREADS" --to verify-netlist \
+    --netlist-dir "$NTMP" --out "$BTMP"; then
+  echo "gen_golden.sh: ERROR: rtflow_cli failed at --to verify-netlist;" >&2
+  echo "gen_golden.sh: not writing $BACKEND_OUT / $NETLIST_DIR" >&2
+  exit 1
+fi
+
+mv "$BTMP" "$BACKEND_OUT"
+rm -rf "$NETLIST_DIR"
+mv "$NTMP" "$NETLIST_DIR"
+trap - EXIT
+echo "gen_golden.sh: wrote $BACKEND_OUT and $NETLIST_DIR/ ($# specs)"

@@ -1,36 +1,41 @@
 // rtflow_cli — drive the staged batch flow from the command line.
 //
 //   rtflow_cli run --spec fifo.g --mode rt --trace
+//   rtflow_cli run --spec fifo.g --to verify-netlist --netlist-out fifo.nl
 //   rtflow_cli batch --corpus builtin --threads 8
+//   rtflow_cli batch --to verify-netlist --netlist-dir netlists
 //   rtflow_cli shard --shard 1/3 --spec a.g --spec b.g ... --out s1.json
 //   rtflow_cli merge s0.json s1.json s2.json --out merged.json
 //   rtflow_cli list --corpus builtin
+//   rtflow_cli list-stages
 //   rtflow_cli export-specs specs
 //
 // The default (timing-free) JSON is canonical: byte-identical across runs
 // and thread counts, so `diff` against a checked-in golden file is a valid
 // regression test — and `merge` of N shard files is byte-identical to the
-// single-process `batch` over the same corpus (CI enforces both).
+// single-process `batch` over the same corpus (CI enforces both). The
+// netlist dumps written by --netlist-out/--netlist-dir are canonical under
+// the same contract.
 //
 // Exit-code contract (documented in README.md):
 //   0  success — every item ran clean
 //   1  runtime failure — an item failed (its JSON diagnostic says why), an
 //      input file is missing/invalid, or output could not be written
-//   2  usage error — unknown command or flag, malformed value (reported on
-//      stderr; nothing is written)
+//   2  usage error — unknown command or flag, malformed value, or an
+//      unknown stage name for --to (reported on stderr; nothing is
+//      written)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "flow/batchflow.hpp"
-#include "flow/pipeline.hpp"
-#include "flow/shard.hpp"
+#include "flow/flow.hpp"
 #include "stg/builders.hpp"
 #include "stg/parse.hpp"
 
@@ -47,6 +52,7 @@ const char* const kGlobalUsage =
     "  shard         run shard i of N of a corpus, emit a shard file\n"
     "  merge         reassemble N shard files into the batch JSON\n"
     "  list          print the corpus item names\n"
+    "  list-stages   print the canonical flow stage names (--to targets)\n"
     "  export-specs  write the built-in builder specs as .g files\n"
     "\n"
     "`%s <command> --help` describes each command's options.\n"
@@ -65,7 +71,10 @@ const char* const kCorpusFlags =
     "flow options (apply to --spec files; built-ins choose their own "
     "mode):\n"
     "  --mode si|rt         synthesis mode for file specs (default rt)\n"
-    "  --max-states N       per-spec reachability cap (default 2^20)\n";
+    "  --max-states N       per-spec reachability cap (default 2^20)\n"
+    "  --to STAGE           run through STAGE and stop (applies to every\n"
+    "                       item; default synth — the legacy stop point).\n"
+    "                       See `list-stages`; unknown names exit 2\n";
 
 const char* const kBudgetFlags =
     "thread budget (the FlowContext levels; output is byte-identical at\n"
@@ -93,6 +102,11 @@ void print_command_usage(std::FILE* to, const char* argv0,
         "  --spec FILE.g        the specification (required, exactly once)\n"
         "  --mode si|rt         synthesis mode (default rt)\n"
         "  --max-states N       reachability cap (default 2^20)\n"
+        "  --to STAGE           run through STAGE and stop (default synth;\n"
+        "                       see `list-stages`). `--to verify-netlist`\n"
+        "                       is the full Figure 2 flow\n"
+        "  --netlist-out FILE   write the final (sized) netlist dump to\n"
+        "                       FILE; requires --to map or later\n"
         "  --sg-threads N       graph-level workers (default 1)\n"
         "  --csc-threads N      candidate-level workers (default 1)\n"
         "  --deadline-ms N      cooperative deadline\n"
@@ -112,6 +126,8 @@ void print_command_usage(std::FILE* to, const char* argv0,
         "\n%s\n%s"
         "  --timings            include wall-clock times in the JSON\n"
         "  --out FILE           write JSON to FILE instead of stdout\n"
+        "  --netlist-dir DIR    write each ok item's final netlist dump to\n"
+        "                       DIR/<item>.nl; requires --to map or later\n"
         "  --help               this text\n",
         argv0, kCorpusFlags, kBudgetFlags);
   } else if (cmd == "shard") {
@@ -153,6 +169,16 @@ void print_command_usage(std::FILE* to, const char* argv0,
                  "\n%s"
                  "  --help               this text\n",
                  argv0, kCorpusFlags);
+  } else if (cmd == "list-stages") {
+    std::fprintf(to,
+                 "usage: %s list-stages\n"
+                 "\n"
+                 "Print every canonical flow stage in Figure 2 order —\n"
+                 "the names `--to STAGE` accepts — with the modes that\n"
+                 "run it and a one-line description. Stages sharing a\n"
+                 "rank (synth-rt, synth-si and the synth alias) are one\n"
+                 "stop point.\n",
+                 argv0);
   } else if (cmd == "export-specs") {
     std::fprintf(to,
                  "usage: %s export-specs DIR\n"
@@ -200,6 +226,8 @@ struct CliOptions {
   bool timings = false;
   bool trace = false;
   std::string out_path;
+  std::string netlist_out;   // run: final netlist dump file
+  std::string netlist_dir;   // batch: per-item netlist dump directory
   std::size_t shard = 0, shard_of = 0;  // shard_of == 0: not given
   std::vector<std::string> positional;  // merge's shard files
 };
@@ -313,6 +341,23 @@ bool parse_common_flag(int argc, char** argv, int* i, CliOptions* o,
                    argv[0], val);
       *usage_error = true;
     }
+  } else if (!std::strcmp(arg, "--to")) {
+    const char* stage = need_value();
+    if (!stage) return true;
+    if (stage_rank(stage) < 0) {
+      std::fprintf(stderr,
+                   "%s: unknown stage '%s' for --to (see `%s list-stages`)\n",
+                   argv[0], stage, argv[0]);
+      *usage_error = true;
+      return true;
+    }
+    o->file_opts.stop_after = stage;
+  } else if (!std::strcmp(arg, "--netlist-out")) {
+    const char* val = need_value();
+    if (val) o->netlist_out = val;
+  } else if (!std::strcmp(arg, "--netlist-dir")) {
+    const char* val = need_value();
+    if (val) o->netlist_dir = val;
   } else if (!std::strcmp(arg, "--timings")) {
     o->timings = true;
   } else if (!std::strcmp(arg, "--trace")) {
@@ -370,9 +415,13 @@ std::vector<BatchSpec> build_corpus(const CliOptions& o) {
   std::vector<BatchSpec> corpus;
   if (o.use_builtin || o.spec_files.empty()) {
     corpus = builtin_corpus(o.pipeline_stages);
-    // Built-ins take the user's reachability cap; the thread budget is
-    // context-level (FlowContext), so it needs no per-item copying.
-    for (auto& item : corpus) item.opts.sg.max_states = o.file_opts.sg.max_states;
+    // Built-ins take the user's reachability cap and stop point; the
+    // thread budget is context-level (FlowContext), so it needs no
+    // per-item copying.
+    for (auto& item : corpus) {
+      item.opts.sg.max_states = o.file_opts.sg.max_states;
+      item.opts.stop_after = o.file_opts.stop_after;
+    }
   }
   for (auto& item : load_corpus_files(o.spec_files, o.file_opts))
     corpus.push_back(std::move(item));
@@ -401,6 +450,26 @@ bool write_output(const char* argv0, const std::string& out_path,
     return false;
   }
   return true;
+}
+
+/// Does the stop point run the map stage — i.e. do netlist dumps exist?
+bool stop_reaches_map(const std::string& stop_after) {
+  return !stop_after.empty() && stage_rank(stop_after) >= stage_rank("map");
+}
+
+/// Deterministic per-item netlist file name: basename of the item name,
+/// the built-ins' ':' mode suffix mapped to '_', a trailing ".g"
+/// dropped, ".nl" appended. "specs/fifo.g" -> "fifo.nl";
+/// "fifo_csc:RT" -> "fifo_csc_RT.nl".
+std::string netlist_file_name(const std::string& item_name) {
+  std::string base = item_name;
+  const std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  if (base.size() > 2 && base.compare(base.size() - 2, 2, ".g") == 0)
+    base.resize(base.size() - 2);
+  for (char& c : base)
+    if (c == ':') c = '_';
+  return base + ".nl";
 }
 
 /// Context for one command: deadline token (if any) + thread budget.
@@ -446,13 +515,20 @@ void print_trace(const PipelineResult& run) {
 int cmd_run(int argc, char** argv) {
   const CliOptions o = parse_or_exit(
       argc, argv, "run",
-      {"--spec", "--mode", "--max-states", "--sg-threads", "--csc-threads",
-       "--deadline-ms", "--trace", "--timings", "--out"},
+      {"--spec", "--mode", "--max-states", "--to", "--netlist-out",
+       "--sg-threads", "--csc-threads", "--deadline-ms", "--trace",
+       "--timings", "--out"},
       /*accept_positional=*/false);
   if (o.spec_files.size() != 1) {
     std::fprintf(stderr, "%s run: exactly one --spec FILE.g is required\n",
                  argv[0]);
     print_command_usage(stderr, argv[0], "run");
+    return 2;
+  }
+  if (!o.netlist_out.empty() && !stop_reaches_map(o.file_opts.stop_after)) {
+    std::fprintf(stderr,
+                 "%s run: --netlist-out requires --to map or later\n",
+                 argv[0]);
     return 2;
   }
   CliContext cli(o);
@@ -481,6 +557,9 @@ int cmd_run(int argc, char** argv) {
   result.wall_ms = item.wall_ms;
   if (!write_output(argv[0], o.out_path, to_json(result, o.timings)))
     return 1;
+  if (!o.netlist_out.empty() && item.ok &&
+      !write_output(argv[0], o.netlist_out, item.netlist_text))
+    return 1;
   return result.failed_count == 0 ? 0 : 1;
 }
 
@@ -488,13 +567,34 @@ int cmd_batch(int argc, char** argv) {
   const CliOptions o = parse_or_exit(
       argc, argv, "batch",
       {"--corpus", "--spec", "--pipeline-stages", "--mode", "--max-states",
-       "--threads", "--sg-threads", "--csc-threads", "--deadline-ms",
-       "--timings", "--out"},
+       "--to", "--netlist-dir", "--threads", "--sg-threads", "--csc-threads",
+       "--deadline-ms", "--timings", "--out"},
       /*accept_positional=*/false);
+  if (!o.netlist_dir.empty() && !stop_reaches_map(o.file_opts.stop_after)) {
+    std::fprintf(stderr,
+                 "%s batch: --netlist-dir requires --to map or later\n",
+                 argv[0]);
+    return 2;
+  }
   CliContext cli(o);
   const BatchResult result = run_batch(build_corpus(o), cli.ctx);
   if (!write_output(argv[0], o.out_path, to_json(result, o.timings)))
     return 1;
+  if (!o.netlist_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(o.netlist_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "%s batch: cannot create '%s': %s\n", argv[0],
+                   o.netlist_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    for (const BatchItemResult& item : result.items) {
+      if (item.netlist_text.empty()) continue;  // failed item: no netlist
+      const std::string path =
+          o.netlist_dir + "/" + netlist_file_name(item.name);
+      if (!write_output(argv[0], path, item.netlist_text)) return 1;
+    }
+  }
   return result.failed_count == 0 ? 0 : 1;
 }
 
@@ -502,7 +602,7 @@ int cmd_shard(int argc, char** argv) {
   const CliOptions o = parse_or_exit(
       argc, argv, "shard",
       {"--shard", "--corpus", "--spec", "--pipeline-stages", "--mode",
-       "--max-states", "--threads", "--sg-threads", "--csc-threads",
+       "--max-states", "--to", "--threads", "--sg-threads", "--csc-threads",
        "--deadline-ms", "--out"},
       /*accept_positional=*/false);
   if (o.shard_of == 0) {
@@ -565,6 +665,18 @@ int cmd_list(int argc, char** argv) {
   return 0;
 }
 
+/// Print the stage registry — one line per canonical name, in rank
+/// order: name, the modes that run it, description. The machine-readable
+/// source of `--to` targets.
+int cmd_list_stages(int argc, char** argv) {
+  parse_or_exit(argc, argv, "list-stages", {}, /*accept_positional=*/false);
+  for (const StageInfo& s : stage_registry()) {
+    const char* modes = s.in_rt && s.in_si ? "rt,si" : (s.in_rt ? "rt" : "si");
+    std::printf("%-20s %-6s %s\n", s.name, modes, s.title);
+  }
+  return 0;
+}
+
 /// Write the builder specs as `.g` files — the reproducible half of the
 /// checked-in specs/ corpus (tools/gen_golden.sh re-runs this).
 int cmd_export_specs(int argc, char** argv) {
@@ -612,6 +724,7 @@ int main(int argc, char** argv) {
   if (cmd == "shard") return cmd_shard(argc, argv);
   if (cmd == "merge") return cmd_merge(argc, argv);
   if (cmd == "list") return cmd_list(argc, argv);
+  if (cmd == "list-stages") return cmd_list_stages(argc, argv);
   if (cmd == "export-specs") return cmd_export_specs(argc, argv);
   std::fprintf(stderr, "%s: unknown command '%s'\n", argv[0], cmd.c_str());
   std::fprintf(stderr, kGlobalUsage, argv[0], argv[0]);
