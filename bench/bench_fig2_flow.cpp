@@ -12,6 +12,10 @@
 #include <functional>
 #include <unordered_map>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "flow/flow.hpp"
 #include "rt/generate.hpp"
 #include "rt/reduce.hpp"
@@ -59,6 +63,23 @@ int seed_reachability(const Stg& stg) {
     }
   }
   return static_cast<int>(markings.size());
+}
+
+/// Peak resident set of this process in bytes; -1 where unavailable. The
+/// OS-level check on the arena/CSR gauge (which only counts the graph's own
+/// arrays).
+long long max_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<long long>(ru.ru_maxrss);  // bytes
+#else
+    return static_cast<long long>(ru.ru_maxrss) * 1024;  // KiB
+#endif
+  }
+#endif
+  return -1;
 }
 
 double best_of_ms(int reps, const std::function<void()>& fn) {
@@ -247,6 +268,75 @@ int main() {
       std::printf("reduce produced an implausible state count\n");
       all_ok = false;
     }
+  }
+
+  // --- past the 1M-state line: arena build + parallel post-exploration ----
+  // pipeline_stg(19) has 2^20 states. One build each at 1 and 8 workers
+  // (single rep — the graph dominates the bench's runtime), then the two
+  // post-exploration passes re-timed in isolation at both widths, with the
+  // t8 results structurally compared against the t1 graph. The memory
+  // gauge (arena + CSR bytes, plus OS max-RSS) rides in the same
+  // BENCH_JSON line.
+  {
+    const int stages = 19;
+    const Stg big = pipeline_stg(stages);
+    SgOptions o1;
+    o1.max_states = std::size_t{1} << 22;
+    SgOptions o8 = o1;
+    o8.threads = 8;
+
+    StateGraph sg = StateGraph::build(big, o1);
+    const double build_ms =
+        best_of_ms(1, [&] { sg = StateGraph::build(big, o1); });
+    double build_t8_ms = 0;
+    {
+      StateGraph sg8 = StateGraph::build(big, o8);
+      build_t8_ms = best_of_ms(1, [&] { sg8 = StateGraph::build(big, o8); });
+      if (!identical_graphs(sg, sg8)) {
+        std::printf("pipeline%d: parallel build differs from sequential\n",
+                    stages);
+        all_ok = false;
+      }
+    }
+    const double transpose_ms =
+        best_of_ms(2, [&] { sg.rebuild_reverse_csr(1); });
+    const double excite_ms =
+        best_of_ms(2, [&] { sg.recompute_excitation(1); });
+    StateGraph sg_t8 = sg;
+    const double transpose_t8_ms =
+        best_of_ms(2, [&] { sg_t8.rebuild_reverse_csr(8); });
+    const double excite_t8_ms =
+        best_of_ms(2, [&] { sg_t8.recompute_excitation(8); });
+    if (!identical_graphs(sg, sg_t8)) {
+      std::printf("pipeline%d: parallel passes differ from sequential\n",
+                  stages);
+      all_ok = false;
+    }
+    const long long peak_mem =
+        static_cast<long long>(sg.arena_bytes() + sg.csr_bytes());
+    const long long rss = max_rss_bytes();
+    std::printf(
+        "\nbig graph, pipeline_stg(%d): %d states, %d edges\n"
+        "  build     (1 thread / 8 threads): %8.2f / %8.2f ms\n"
+        "  transpose (1 thread / 8 threads): %8.2f / %8.2f ms\n"
+        "  excite    (1 thread / 8 threads): %8.2f / %8.2f ms\n"
+        "  graph memory: %lld bytes (arena %zu + CSR %zu), max RSS %lld\n",
+        stages, sg.num_states(), sg.num_edges(), build_ms, build_t8_ms,
+        transpose_ms, transpose_t8_ms, excite_ms, excite_t8_ms, peak_mem,
+        sg.arena_bytes(), sg.csr_bytes(), rss);
+    std::printf(
+        "BENCH_JSON: {\"name\": \"pipeline%d\", \"states\": %d, "
+        "\"edges\": %d, \"build_us\": %lld, \"build_t8_us\": %lld, "
+        "\"transpose_us\": %lld, \"transpose_t8_us\": %lld, "
+        "\"excite_us\": %lld, \"excite_t8_us\": %lld, "
+        "\"peak_mem_bytes\": %lld, \"max_rss_bytes\": %lld}\n",
+        stages, sg.num_states(), sg.num_edges(),
+        static_cast<long long>(build_ms * 1000 + 0.5),
+        static_cast<long long>(build_t8_ms * 1000 + 0.5),
+        static_cast<long long>(transpose_ms * 1000 + 0.5),
+        static_cast<long long>(transpose_t8_ms * 1000 + 0.5),
+        static_cast<long long>(excite_ms * 1000 + 0.5),
+        static_cast<long long>(excite_t8_ms * 1000 + 0.5), peak_mem, rss);
   }
 
   std::printf("\nshape check: %s\n", all_ok ? "PASS" : "FAIL");

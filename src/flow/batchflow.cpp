@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 
 #include "flow/pipeline.hpp"
 #include "stg/builders.hpp"
@@ -134,7 +135,13 @@ std::vector<BatchSpec> load_corpus_files(const std::vector<std::string>& paths,
     item.name = path;
     item.opts = opts;
     try {
-      item.spec = parse_stg_file(path);
+      // Generated-spec names ("pipeline20", "ring12") resolve to builders
+      // when no file of that name exists — the scaling families cross 10^6
+      // states, which no one wants as checked-in .g files. A real file
+      // always wins, so a spec named like a generated one stays loadable.
+      std::optional<Stg> generated;
+      if (!std::filesystem::exists(path)) generated = generated_spec(path);
+      item.spec = generated ? std::move(*generated) : parse_stg_file(path);
     } catch (const ParseError& e) {
       item.load_error = BatchDiagnostic{"parse", e.what()};
     } catch (const Error& e) {

@@ -125,6 +125,11 @@ void stage_reachability(PipelineState* st, StageTrace* trace) {
          static_cast<long long>(analysis.persistency.size()));
   metric(trace, "csc_conflicts",
          static_cast<long long>(analysis.csc_conflicts.size()));
+  // Memory gauge for big graphs: marking-arena bytes plus CSR bytes (both
+  // exact graph properties, identical at any thread count). Trace-only —
+  // the canonical JSON below must not change.
+  metric(trace, "arena_bytes", static_cast<long long>(sg.arena_bytes()));
+  metric(trace, "csr_bytes", static_cast<long long>(sg.csr_bytes()));
   // Level stats come from the builder's BFS and are a property of the graph,
   // not of the schedule: identical at every sg.threads setting, so they are
   // safe inside the canonical (golden-diffed) JSON.

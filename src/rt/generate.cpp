@@ -1,6 +1,7 @@
 #include "rt/generate.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -199,12 +200,33 @@ std::vector<RtAssumption> generate_assumptions(const StateGraph& sg,
       out.clear();
     return out;
   };
+  // Rounds only ever APPEND assumptions, so after the first one each
+  // re-reduction filters the previous round's (much smaller) reduced graph
+  // by the new suffix instead of replaying every assumption over the full
+  // graph — reduce_delta's contract guarantees a byte-identical result.
+  // Rollback paths keep the full reduce: they re-evaluate a PREFIX.
+  std::optional<ReduceResult> prev_red;
+  std::size_t prev_count = 0;
+  const auto reduce_incremental = [&] {
+    if (!prev_red) return reduce(sg, out);
+    ReduceResult red = reduce_delta(sg, *prev_red, out, prev_count);
+    if (opts.validate_incremental_reduce) {
+      const ReduceResult full = reduce(sg, out);
+      if (!identical_graphs(red.sg, full.sg) ||
+          red.edges_removed != full.edges_removed ||
+          red.states_removed != full.states_removed ||
+          red.deadlocked_states != full.deadlocked_states)
+        throw Error("incremental reduce diverged from full rebuild for '" +
+                    stg.name() + "'");
+    }
+    return red;
+  };
   for (int round = 0; round < opts.max_refinement_rounds; ++round) {
     // One cancellation check per refinement round: rounds re-reduce the
     // whole graph and sweep a BFS per input edge, so this is the natural
     // (and deterministic, for a pre-cancelled token) abort boundary.
     if (opts.cancel) opts.cancel->check("assumption generation");
-    const ReduceResult red = reduce(sg, out);
+    ReduceResult red = reduce_incremental();
     if (red.deadlocked_states > 0) return rolled_back();
     stable = out.size();
     stable_validated = true;
@@ -248,9 +270,12 @@ std::vector<RtAssumption> generate_assumptions(const StateGraph& sg,
           added = true;
       }
     }
+    prev_count = stable;
+    prev_red = std::move(red);
     if (!added) break;
   }
-  if (out.size() > stable && reduce(sg, out).deadlocked_states > 0)
+  if (out.size() > stable &&
+      reduce_incremental().deadlocked_states > 0)
     return rolled_back();
   return out;
 }

@@ -64,6 +64,12 @@ struct GenerateOptions {
   /// a private slot and every emission decision below runs sequentially in
   /// edge-index order.
   int threads = 1;
+  /// Debug cross-check: refinement rounds reduce incrementally
+  /// (reduce_delta filters the previous round's reduced graph by the new
+  /// assumptions only). With this set, every incremental round also runs
+  /// the full rebuild and throws if the two graphs or their stats diverge.
+  /// Equivalence tests enable it; production flows leave it off.
+  bool validate_incremental_reduce = false;
   /// Optional cooperative cancellation, checked once per ring-environment
   /// refinement round (the generate/reduce fixpoint loop). Not owned; must
   /// outlive the call. The cheap structural rules (margin classes,

@@ -28,4 +28,18 @@ struct ReduceResult {
 ReduceResult reduce(const StateGraph& sg,
                     const std::vector<RtAssumption>& assumptions);
 
+/// Incremental reduce for refinement loops that only ever APPEND
+/// assumptions: `prev` must be the result of reducing `root` by the first
+/// `prev_count` entries of `assumptions` (full or incremental — chains
+/// compose). Filters `prev.sg` by the new suffix alone instead of replaying
+/// every assumption over the full graph, producing a graph byte-identical
+/// to `reduce(root, assumptions).sg` (same ids, CSR order, codes,
+/// excitation) and identical removal/deadlock stats. Exception: `used` for
+/// the prefix is inherited from `prev`, which can over-approximate the full
+/// rebuild's set — callers that consume `used` (back-annotation) must run
+/// one final full reduce.
+ReduceResult reduce_delta(const StateGraph& root, const ReduceResult& prev,
+                          const std::vector<RtAssumption>& assumptions,
+                          std::size_t prev_count);
+
 }  // namespace rtcad

@@ -1,0 +1,66 @@
+// MarkingArena: every reachable marking of one state graph in a single
+// contiguous fixed-stride byte buffer (stride = number of places). The seed
+// representation paid a std::vector header plus a separate heap allocation
+// per state — dominant above 10^6 states; here a state's marking is row
+// `slot` of one flat array, so SgState shrinks to an offset + code and the
+// whole marking store is one allocation with cache-friendly sequential
+// layout for the visited-table probes.
+//
+// Ownership: the root (build) StateGraph owns the arena through a
+// shared_ptr; graphs produced by filtered() share it and address rows
+// through their root-state slots, so a reduction chain adds zero marking
+// copies no matter how many rounds it runs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "stg/stg.hpp"
+#include "util/check.hpp"
+
+namespace rtcad {
+
+class MarkingArena {
+ public:
+  MarkingArena() = default;
+  explicit MarkingArena(int stride) : stride_(stride) {
+    RTCAD_EXPECTS(stride >= 0);
+  }
+
+  int stride() const { return stride_; }
+  std::size_t size() const { return count_; }
+  /// Bytes held by the marking rows — the arena half of the memory gauge.
+  std::size_t bytes() const { return data_.size(); }
+
+  void reserve(std::size_t rows) {
+    data_.reserve(rows * static_cast<std::size_t>(stride_));
+  }
+
+  /// Append one marking (exactly `stride` bytes); returns its slot.
+  std::uint32_t append(const std::uint8_t* m) {
+    data_.insert(data_.end(), m, m + stride_);
+    return count_++;
+  }
+
+  const std::uint8_t* row(std::uint32_t slot) const {
+    return data_.data() + static_cast<std::size_t>(slot) * stride_;
+  }
+
+  bool row_equals(std::uint32_t slot, const std::uint8_t* m) const {
+    return std::memcmp(row(slot), m, static_cast<std::size_t>(stride_)) == 0;
+  }
+
+  Marking copy(std::uint32_t slot) const {
+    const std::uint8_t* r = row(slot);
+    return Marking(r, r + stride_);
+  }
+
+ private:
+  int stride_ = 0;
+  std::uint32_t count_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace rtcad

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstring>
 #include <deque>
 #include <limits>
 #include <mutex>
@@ -11,7 +12,25 @@
 #include "util/workpool.hpp"
 
 namespace rtcad {
+
+/// One lazily-spawned WorkPool per build, shared by the parallel
+/// exploration and the post-exploration passes (transpose, excitation):
+/// narrow graphs never pay the thread spawn, wide ones pay it once.
+struct StateGraph::PoolHandle {
+  int threads = 1;
+  std::optional<WorkPool> pool;
+  WorkPool& get() {
+    if (!pool) pool.emplace(threads);
+    return *pool;
+  }
+};
+
 namespace {
+
+// Below this many edges the parallel post-exploration passes fall back to
+// the sequential loops: the sweeps are pure array walks, so tiny graphs
+// would spend more on work distribution than on the work.
+constexpr int kMinParallelEdges = 1 << 15;
 
 // Open-addressed, linear-probe visited table for the reachability hot path.
 // A state is the packed pair (marking, code); during exploration the code is
@@ -19,24 +38,24 @@ namespace {
 // reaching one marking with different parities is the consistency error, not
 // two distinct states), so the table keys on the marking and the per-state
 // parity array completes the packed key. Slots hold (hash, state id); the
-// markings themselves live once in the StateGraph's state vector, so probing
-// compares a cached 64-bit hash first and touches the marking bytes only on
-// a hash hit. This replaces the seed's std::unordered_map<Marking, int>,
-// whose node allocation per insert and pointer chase per probe dominated
-// build time on large specs.
+// marking bytes themselves live once in the graph's MarkingArena (slot ==
+// state id during a build), so probing compares a cached 64-bit hash first
+// and memcmps one arena row only on a hash hit. This replaces the seed's
+// std::unordered_map<Marking, int>, whose node allocation per insert and
+// pointer chase per probe dominated build time on large specs.
 class VisitedTable {
  public:
   VisitedTable() { rehash(kInitialSlots); }
 
-  /// Look up `m` (with precomputed hash `h`); insert `id` if absent.
-  /// Returns {resident id, inserted}.
-  std::pair<int, bool> find_or_insert(const Marking& m, std::uint64_t h,
-                                      int id,
-                                      const std::vector<SgState>& states) {
+  /// Look up the marking bytes `m` (with precomputed hash `h`); insert `id`
+  /// if absent. Returns {resident id, inserted}.
+  std::pair<int, bool> find_or_insert(const std::uint8_t* m, std::uint64_t h,
+                                      int id, const MarkingArena& arena) {
     if ((size_ + 1) * 4 > slots_.size() * 3) rehash(slots_.size() * 2);
     std::size_t i = static_cast<std::size_t>(h) & mask_;
     while (slots_[i].id >= 0) {
-      if (slots_[i].hash == h && states[slots_[i].id].marking == m)
+      if (slots_[i].hash == h &&
+          arena.row_equals(static_cast<std::uint32_t>(slots_[i].id), m))
         return {slots_[i].id, false};
       i = (i + 1) & mask_;
     }
@@ -114,9 +133,10 @@ std::size_t pending_index(Ref r) {
 }
 
 /// A marking discovered during the current round, parked until the merge
-/// assigns its deterministic id. Lives in a per-worker std::deque so the
-/// Marking's address stays stable while other workers compare against it
-/// through the visited-table slot pointer.
+/// assigns its deterministic id (and copies the bytes into the arena).
+/// Lives in a per-worker std::deque so the Marking's address stays stable
+/// while other workers compare against it through the visited-table slot
+/// pointer.
 struct PendingState {
   Marking marking;
   std::uint64_t hash = 0;
@@ -129,13 +149,12 @@ struct PendingState {
 // one lock covers lookup, insert, and the publication of the pending
 // marking bytes). Slots hold (hash, ref): probing compares the cached hash
 // first and touches marking bytes only on a hash hit — final refs resolve
-// through the StateGraph's state vector (stable during a round; the merge
-// between rounds is single-threaded), pending refs through the stable slot
-// pointer into the owning worker's deque.
+// through the shared MarkingArena (its rows are stable during a round; the
+// appends happen in the single-threaded merge between rounds), pending refs
+// through the stable slot pointer into the owning worker's deque.
 class StripedVisitedTable {
  public:
-  explicit StripedVisitedTable(const std::vector<SgState>* states)
-      : states_(states) {
+  explicit StripedVisitedTable(const MarkingArena* arena) : arena_(arena) {
     for (Stripe& st : stripes_) {
       st.slots.assign(kInitialSlots, Slot{});
       st.mask = kInitialSlots - 1;
@@ -160,7 +179,9 @@ class StripedVisitedTable {
     if ((st.size + 1) * 4 > st.slots.size() * 3) rehash(&st);
     std::size_t i = h & st.mask;
     while (st.slots[i].ref != kEmptyRef) {
-      if (st.slots[i].hash == h && slot_marking(st.slots[i]) == next)
+      if (st.slots[i].hash == h &&
+          std::memcmp(slot_marking(st.slots[i]), next.data(), next.size()) ==
+              0)
         return st.slots[i].ref;
       i = (i + 1) & st.mask;
     }
@@ -172,7 +193,7 @@ class StripedVisitedTable {
   }
 
   /// Merge step (single-threaded, between rounds): swap a pending ref for
-  /// its final id so later rounds resolve through the state vector.
+  /// its final id so later rounds resolve through the arena.
   void finalize(const PendingState& p, Ref pending_ref, int final_id) {
     Stripe& st = stripe_of(p.hash);
     std::size_t i = p.hash & st.mask;
@@ -202,9 +223,9 @@ class StripedVisitedTable {
   Stripe& stripe_of(std::uint64_t h) {
     return stripes_[h >> (64 - kStripeBits)];
   }
-  const Marking& slot_marking(const Slot& s) const {
-    return s.ref >= 0 ? (*states_)[static_cast<std::size_t>(s.ref)].marking
-                      : *s.marking;
+  const std::uint8_t* slot_marking(const Slot& s) const {
+    return s.ref >= 0 ? arena_->row(static_cast<std::uint32_t>(s.ref))
+                      : s.marking->data();
   }
   void rehash(Stripe* st) {
     std::vector<Slot> old = std::move(st->slots);
@@ -218,7 +239,7 @@ class StripedVisitedTable {
     }
   }
 
-  const std::vector<SgState>* states_;
+  const MarkingArena* arena_;
   Stripe stripes_[std::size_t{1} << kStripeBits];
 };
 
@@ -241,12 +262,31 @@ struct ChunkOut {
   }
 };
 
+/// Split `[0, n)` into even contiguous chunks for the post-exploration
+/// sweeps (a few per worker so a skewed chunk cannot straggle the round).
+struct ChunkPlan {
+  std::size_t n = 0;
+  std::size_t num_chunks = 1;
+  std::size_t begin(std::size_t c) const { return c * n / num_chunks; }
+  std::size_t end(std::size_t c) const { return (c + 1) * n / num_chunks; }
+};
+
+ChunkPlan plan_chunks(std::size_t n, int threads) {
+  ChunkPlan plan;
+  plan.n = n;
+  plan.num_chunks =
+      std::min<std::size_t>(std::max<std::size_t>(n, 1),
+                            4 * static_cast<std::size_t>(threads));
+  return plan;
+}
+
 }  // namespace
 
 StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
   RTCAD_EXPECTS(stg.num_signals() <= 64);
   StateGraph sg;
   sg.stg_ = stg;
+  sg.arena_ = std::make_shared<MarkingArena>(stg.num_places());
 
   // Phase 1: explore markings, assigning each a parity vector
   // (bit s = number of s-transitions fired along the discovery path, mod 2)
@@ -260,10 +300,11 @@ StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
   std::vector<std::uint64_t> parity;
   std::vector<signed char> v0(64, -1);  // -1 unknown, else 0/1
   const int threads = WorkPool::effective_threads(opts.threads);
+  PoolHandle pool{threads, std::nullopt};
   if (threads <= 1)
     sg.explore_sequential(opts, &parity, &v0);
   else
-    sg.explore_parallel(opts, threads, &parity, &v0);
+    sg.explore_parallel(opts, threads, &parity, &v0, &pool);
 
   // Signals with an explicitly declared initial value win over inference
   // only when inference produced no constraint.
@@ -277,8 +318,8 @@ StateGraph StateGraph::build(const Stg& stg, const SgOptions& opts) {
   for (std::size_t i = 0; i < sg.states_.size(); ++i)
     sg.states_[i].code = v0_value ^ parity[i];
 
-  sg.build_reverse_csr();
-  sg.compute_excitation();
+  sg.build_reverse_csr(threads, &pool);
+  sg.compute_excitation(threads, &pool);
   return sg;
 }
 
@@ -287,14 +328,15 @@ void StateGraph::explore_sequential(const SgOptions& opts,
                                     std::vector<signed char>* v0_out) {
   const Stg& stg = stg_;
   std::vector<std::uint64_t>& parity = *parity_out;
+  MarkingArena& arena = *arena_;
 
   VisitedTable index;
   const Marking m0 = stg.initial_marking();
-  states_.push_back(SgState{m0, 0});
+  states_.push_back(SgState{0, arena.append(m0.data())});
   parity.push_back(0);
   {
-    const auto seeded =
-        index.find_or_insert(m0, marking_hash(m0), 0, states_);
+    const auto seeded = index.find_or_insert(m0.data(), marking_hash(m0), 0,
+                                             arena);
     RTCAD_ASSERT(seeded.second);
   }
 
@@ -323,8 +365,10 @@ void StateGraph::explore_sequential(const SgOptions& opts,
       if (opts.cancel) opts.cancel->check("state-graph build");
     }
     out_row_.push_back(static_cast<int>(edge_transition_.size()));
-    // Copy into scratch: states_ may reallocate while pushing successors.
-    marking = states_[si].marking;
+    // Copy into scratch: the arena may reallocate while appending
+    // successors.
+    const std::uint8_t* row = arena.row(states_[si].slot);
+    marking.assign(row, row + arena.stride());
     const std::uint64_t par = parity[si];
 
     stg.enabled_transitions(marking, &enabled);
@@ -332,14 +376,14 @@ void StateGraph::explore_sequential(const SgOptions& opts,
       const std::uint64_t next_par = apply_edge_parity(stg, t, par, v0_out);
       stg.fire_into(marking, t, &next);
       const int candidate_id = static_cast<int>(states_.size());
-      const auto insertion = index.find_or_insert(next, marking_hash(next),
-                                                  candidate_id, states_);
+      const auto insertion = index.find_or_insert(
+          next.data(), marking_hash(next), candidate_id, arena);
       const int succ_id = insertion.first;
       if (insertion.second) {
         if (states_.size() >= opts.max_states)
           throw SpecError("state graph of '" + stg.name() + "' exceeds " +
                           std::to_string(opts.max_states) + " states");
-        states_.push_back(SgState{next, 0});
+        states_.push_back(SgState{0, arena.append(next.data())});
         parity.push_back(next_par);
       } else if (parity[succ_id] != next_par) {
         throw SpecError("STG '" + stg.name() +
@@ -356,18 +400,20 @@ void StateGraph::explore_sequential(const SgOptions& opts,
 
 void StateGraph::explore_parallel(const SgOptions& opts, int threads,
                                   std::vector<std::uint64_t>* parity_out,
-                                  std::vector<signed char>* v0_out) {
+                                  std::vector<signed char>* v0_out,
+                                  PoolHandle* shared_pool) {
   const Stg& stg = stg_;
   std::vector<std::uint64_t>& parity = *parity_out;
+  MarkingArena& arena = *arena_;
 
-  StripedVisitedTable table(&states_);
+  StripedVisitedTable table(&arena);
   const Marking m0 = stg.initial_marking();
-  states_.push_back(SgState{m0, 0});
+  states_.push_back(SgState{0, arena.append(m0.data())});
   parity.push_back(0);
   table.seed(marking_hash(m0), 0);
 
   // Per-worker expansion state. The deques hold this round's discoveries;
-  // markings are moved out (never copied again) when the merge assigns ids.
+  // the merge copies each marking into the arena when it assigns the id.
   struct WorkerScratch {
     Marking next;
     std::vector<int> enabled;
@@ -375,10 +421,6 @@ void StateGraph::explore_parallel(const SgOptions& opts, int threads,
   std::vector<WorkerScratch> scratch(static_cast<std::size_t>(threads));
   std::vector<std::deque<PendingState>> pending(
       static_cast<std::size_t>(threads));
-  // The pool persists across rounds (spawned on the first round wide enough
-  // to need it); narrow frontiers expand inline on this thread instead of
-  // paying a wakeup — the chunk walk is identical either way.
-  std::optional<WorkPool> pool;
 
   // Round state, hoisted so the discovery buffers and the pool job keep
   // their allocations across BFS rounds (pool.run's lock handoff makes the
@@ -422,7 +464,9 @@ void StateGraph::explore_parallel(const SgOptions& opts, int threads,
       const std::size_t begin = level_begin + c * chunk_size;
       const std::size_t end = std::min(begin + chunk_size, level_end);
       for (std::size_t s = begin; s < end; ++s) {
-        const Marking& marking = states_[s].marking;
+        // Arena rows are stable during a round (appends happen only in the
+        // single-threaded merge), so workers read them in place.
+        const std::uint8_t* marking = arena.row(states_[s].slot);
         stg.enabled_transitions(marking, &sc.enabled);
         out.degree.push_back(static_cast<int>(sc.enabled.size()));
         for (int t : sc.enabled) {
@@ -459,8 +503,7 @@ void StateGraph::explore_parallel(const SgOptions& opts, int threads,
     cursor.store(0, std::memory_order_relaxed);
     parked.store(0, std::memory_order_relaxed);
     if (num_chunks > 1) {
-      if (!pool) pool.emplace(threads);
-      pool->run(expand);
+      shared_pool->get().run(expand);
     } else {
       expand(0);
     }
@@ -501,7 +544,7 @@ void StateGraph::explore_parallel(const SgOptions& opts, int threads,
                                 std::to_string(opts.max_states) + " states");
               p.final_id = static_cast<int>(states_.size());
               table.finalize(p, ref, p.final_id);
-              states_.push_back(SgState{std::move(p.marking), 0});
+              states_.push_back(SgState{0, arena.append(p.marking.data())});
               parity.push_back(next_par);
             } else if (parity[p.final_id] != next_par) {
               throw SpecError("STG '" + stg.name() +
@@ -522,17 +565,74 @@ void StateGraph::explore_parallel(const SgOptions& opts, int threads,
   out_row_.push_back(static_cast<int>(edge_transition_.size()));
 }
 
-void StateGraph::build_reverse_csr() {
+void StateGraph::build_reverse_csr(int threads, PoolHandle* pool,
+                                   bool force_parallel) {
   const int n = num_states();
   const int m = num_edges();
+  in_row_.assign(n + 1, 0);
+  in_transition_.resize(m);
+  in_source_.resize(m);
+
+  if (threads > 1 && pool && (force_parallel || m >= kMinParallelEdges)) {
+    // Parallel transpose, byte-identical to the sequential counting sort:
+    // (1) chunked atomic in-degree count, (2) sequential prefix sum,
+    // (3) chunked scatter of (edge id, source) through per-target atomic
+    // cursors, (4) per-target sort by edge id — the scatter order of the
+    // sequential pass is exactly ascending edge id, so sorting each target
+    // bucket restores it no matter how the chunks interleaved.
+    WorkPool& wp = pool->get();
+    const ChunkPlan chunks = plan_chunks(static_cast<std::size_t>(n), threads);
+    std::vector<std::atomic<int>> cnt(static_cast<std::size_t>(n));
+    wp.for_each_index(chunks.num_chunks, [&](std::size_t c) {
+      const std::size_t end = chunks.end(c);
+      for (std::size_t s = chunks.begin(c); s < end; ++s) {
+        for (int e = out_row_[s]; e < out_row_[s + 1]; ++e)
+          cnt[static_cast<std::size_t>(edge_successor_[e])].fetch_add(
+              1, std::memory_order_relaxed);
+      }
+    });
+    for (int s = 0; s < n; ++s)
+      in_row_[s + 1] =
+          in_row_[s] + cnt[static_cast<std::size_t>(s)].load(
+                           std::memory_order_relaxed);
+    for (int s = 0; s < n; ++s)
+      cnt[static_cast<std::size_t>(s)].store(in_row_[s],
+                                             std::memory_order_relaxed);
+    // Pack (edge id << 32 | source): sorting a bucket ascending sorts by
+    // edge id (unique), and both halves unpack without a second array.
+    std::vector<std::uint64_t> packed(static_cast<std::size_t>(m));
+    wp.for_each_index(chunks.num_chunks, [&](std::size_t c) {
+      const std::size_t end = chunks.end(c);
+      for (std::size_t s = chunks.begin(c); s < end; ++s) {
+        for (int e = out_row_[s]; e < out_row_[s + 1]; ++e) {
+          const int slot =
+              cnt[static_cast<std::size_t>(edge_successor_[e])].fetch_add(
+                  1, std::memory_order_relaxed);
+          packed[static_cast<std::size_t>(slot)] =
+              (static_cast<std::uint64_t>(e) << 32) |
+              static_cast<std::uint32_t>(s);
+        }
+      }
+    });
+    wp.for_each_index(chunks.num_chunks, [&](std::size_t c) {
+      const std::size_t end = chunks.end(c);
+      for (std::size_t s = chunks.begin(c); s < end; ++s) {
+        std::sort(packed.begin() + in_row_[s], packed.begin() + in_row_[s + 1]);
+        for (int k = in_row_[s]; k < in_row_[s + 1]; ++k) {
+          const std::uint64_t p = packed[static_cast<std::size_t>(k)];
+          in_transition_[k] = edge_transition_[p >> 32];
+          in_source_[k] = static_cast<int>(p & 0xffffffff);
+        }
+      }
+    });
+    return;
+  }
+
   // Transpose by counting sort: one pass to count in-degrees, a prefix sum,
   // one pass to scatter. Entries for a given target state keep CSR order of
   // their sources, so the transpose is deterministic.
-  in_row_.assign(n + 1, 0);
   for (int e = 0; e < m; ++e) ++in_row_[edge_successor_[e] + 1];
   for (int s = 0; s < n; ++s) in_row_[s + 1] += in_row_[s];
-  in_transition_.resize(m);
-  in_source_.resize(m);
   std::vector<int> cursor(in_row_.begin(), in_row_.end() - 1);
   for (int s = 0; s < n; ++s) {
     for (int e = out_row_[s]; e < out_row_[s + 1]; ++e) {
@@ -543,26 +643,49 @@ void StateGraph::build_reverse_csr() {
   }
 }
 
-void StateGraph::compute_excitation() {
+void StateGraph::compute_excitation(int threads, PoolHandle* pool,
+                                    bool force_parallel) {
   const int n = num_states();
   excited_rise_.assign(n, 0);
   excited_fall_.assign(n, 0);
-  // Direct enablement: one linear sweep over the flat edge array.
-  for (int s = 0; s < n; ++s) {
-    for (int e = out_row_[s]; e < out_row_[s + 1]; ++e) {
-      if (const auto& label = stg_.transition(edge_transition_[e]).label) {
-        const std::uint64_t bit = std::uint64_t{1} << label->signal;
-        if (label->pol == Polarity::kRise)
-          excited_rise_[s] |= bit;
-        else
-          excited_fall_[s] |= bit;
+  // Direct enablement: a linear sweep over the flat edge array. Each state
+  // writes only its own masks, so the chunked parallel sweep is trivially
+  // deterministic.
+  const auto direct_sweep = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      for (int e = out_row_[s]; e < out_row_[s + 1]; ++e) {
+        if (const auto& label = stg_.transition(edge_transition_[e]).label) {
+          const std::uint64_t bit = std::uint64_t{1} << label->signal;
+          if (label->pol == Polarity::kRise)
+            excited_rise_[s] |= bit;
+          else
+            excited_fall_[s] |= bit;
+        }
       }
     }
+  };
+  if (threads > 1 && pool &&
+      (force_parallel || num_edges() >= kMinParallelEdges)) {
+    WorkPool& wp = pool->get();
+    const ChunkPlan chunks = plan_chunks(static_cast<std::size_t>(n), threads);
+    wp.for_each_index(chunks.num_chunks, [&](std::size_t c) {
+      direct_sweep(chunks.begin(c), chunks.end(c));
+    });
+  } else {
+    direct_sweep(0, static_cast<std::size_t>(n));
   }
+
   // Close backwards over silent edges: if σ --ε--> σ' and σ' excites e,
-  // then σ already excites e (the circuit cannot observe ε). Worklist over
-  // the reverse CSR: when a state's masks grow, only its silent
-  // predecessors can be affected — no repeated whole-graph sweeps.
+  // then σ already excites e (the circuit cannot observe ε). Specs without
+  // any silent transition skip the closure outright — the direct sweep is
+  // already the fixpoint. The worklist itself stays sequential: silent
+  // edges are rare and the propagation is a tiny fraction of the sweep.
+  bool any_silent = false;
+  for (int t = 0; t < stg_.num_transitions() && !any_silent; ++t)
+    any_silent = stg_.transition(t).is_silent();
+  if (!any_silent) return;
+  // Worklist over the reverse CSR: when a state's masks grow, only its
+  // silent predecessors can be affected — no repeated whole-graph sweeps.
   std::vector<int> worklist;
   std::vector<char> queued(n, 1);
   worklist.reserve(n);
@@ -588,10 +711,25 @@ void StateGraph::compute_excitation() {
   }
 }
 
+void StateGraph::rebuild_reverse_csr(int threads) {
+  const int t = WorkPool::effective_threads(threads);
+  PoolHandle pool{t, std::nullopt};
+  build_reverse_csr(t, t > 1 ? &pool : nullptr, /*force_parallel=*/t > 1);
+}
+
+void StateGraph::recompute_excitation(int threads) {
+  const int t = WorkPool::effective_threads(threads);
+  PoolHandle pool{t, std::nullopt};
+  compute_excitation(t, t > 1 ? &pool : nullptr, /*force_parallel=*/t > 1);
+}
+
 StateGraph StateGraph::filtered(
     const std::function<bool(int state, int transition)>& keep_edge) const {
   StateGraph out;
   out.stg_ = stg_;
+  // The reduced graph shares the root arena: its states keep their root
+  // slots, so a reduction chain adds no marking copies at all.
+  out.arena_ = arena_;
 
   // Single counting pass: BFS from the initial state over the kept edges,
   // assigning new ids in discovery order. The frontier is consumed in
@@ -626,8 +764,8 @@ StateGraph StateGraph::filtered(
     out.states_.push_back(states_[old_s]);
     out.old_state_.push_back(old_state_of(old_s));
   }
-  out.build_reverse_csr();
-  out.compute_excitation();
+  out.build_reverse_csr(1, nullptr);
+  out.compute_excitation(1, nullptr);
   return out;
 }
 
@@ -652,6 +790,34 @@ int StateGraph::successor_by_transition(int state, int transition) const {
     if (t == transition) return to;
   }
   return -1;
+}
+
+bool identical_graphs(const StateGraph& a, const StateGraph& b) {
+  if (a.num_states() != b.num_states() || a.num_edges() != b.num_edges() ||
+      a.marking_stride() != b.marking_stride() ||
+      a.level_sizes() != b.level_sizes())
+    return false;
+  const std::size_t stride = static_cast<std::size_t>(a.marking_stride());
+  for (int s = 0; s < a.num_states(); ++s) {
+    if (a.code(s) != b.code(s) || a.old_state_of(s) != b.old_state_of(s) ||
+        a.excited_rise_mask(s) != b.excited_rise_mask(s) ||
+        a.excited_fall_mask(s) != b.excited_fall_mask(s) ||
+        a.out_degree(s) != b.out_degree(s) ||
+        a.in_degree(s) != b.in_degree(s) ||
+        std::memcmp(a.marking_data(s), b.marking_data(s), stride) != 0)
+      return false;
+    for (int i = 0; i < a.out_degree(s); ++i) {
+      if (a.out_edges(s)[i].transition != b.out_edges(s)[i].transition ||
+          a.out_edges(s)[i].state != b.out_edges(s)[i].state)
+        return false;
+    }
+    for (int i = 0; i < a.in_degree(s); ++i) {
+      if (a.in_edges(s)[i].transition != b.in_edges(s)[i].transition ||
+          a.in_edges(s)[i].state != b.in_edges(s)[i].state)
+        return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace rtcad

@@ -20,8 +20,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "sg/arena.hpp"
 #include "stg/stg.hpp"
 #include "util/cancel.hpp"
 
@@ -46,9 +48,14 @@ struct SgOptions {
   const CancelToken* cancel = nullptr;
 };
 
+/// Per-state record: the marking itself lives in the shared MarkingArena
+/// (one contiguous fixed-stride buffer), so a state is just its arena slot
+/// plus the signal code — 16 bytes instead of a vector header and a heap
+/// allocation per state. For build graphs slot == state id; graphs produced
+/// by filtered() carry their root-graph slots and share the root arena.
 struct SgState {
-  Marking marking;
   std::uint64_t code = 0;  ///< bit s = value of signal s
+  std::uint32_t slot = 0;  ///< row in the owning graph's MarkingArena
 };
 
 /// One adjacency entry: the transition labelling the edge plus the state on
@@ -113,8 +120,17 @@ class StateGraph {
 
   const Stg& stg() const { return stg_; }
   int num_states() const { return static_cast<int>(states_.size()); }
-  const SgState& state(int i) const { return states_[i]; }
   int initial_state() const { return 0; }
+
+  /// Marking of state `i` as a raw arena row of marking_stride() bytes
+  /// (token count per place). Valid as long as the graph (or any graph
+  /// sharing its arena) is alive.
+  const std::uint8_t* marking_data(int i) const {
+    return arena_->row(states_[i].slot);
+  }
+  int marking_stride() const { return arena_->stride(); }
+  /// Owned copy for cold paths (tests, diagnostics).
+  Marking marking_copy(int i) const { return arena_->copy(states_[i].slot); }
   std::uint64_t code(int i) const { return states_[i].code; }
   bool value(int state, int signal) const {
     return (states_[state].code >> signal) & 1;
@@ -169,6 +185,14 @@ class StateGraph {
         e.pol == Polarity::kRise ? excited_rise_ : excited_fall_;
     return (m[state] >> e.signal) & 1;
   }
+  /// Whole excitation masks (bit per signal) — differential tests compare
+  /// the parallel excitation sweep against the sequential one with these.
+  std::uint64_t excited_rise_mask(int state) const {
+    return excited_rise_[state];
+  }
+  std::uint64_t excited_fall_mask(int state) const {
+    return excited_fall_[state];
+  }
 
   /// Next-state function target: the value signal `sig` is heading to at
   /// `state` (1 if rising excited or stably 1; 0 if falling excited or
@@ -205,8 +229,36 @@ class StateGraph {
     return peak;
   }
 
+  /// Memory gauges for big-graph diagnosability (reported in the
+  /// reachability stage trace and BENCH_JSON). Both are exact properties of
+  /// the graph, identical at any thread count. A filtered graph reports the
+  /// shared root arena's bytes — that is what actually stays resident.
+  std::size_t arena_bytes() const { return arena_ ? arena_->bytes() : 0; }
+  std::size_t csr_bytes() const {
+    return (out_row_.size() + edge_transition_.size() +
+            edge_successor_.size() + in_row_.size() + in_transition_.size() +
+            in_source_.size()) *
+               sizeof(int) +
+           (excited_rise_.size() + excited_fall_.size()) *
+               sizeof(std::uint64_t);
+  }
+
+  /// Recompute the derived structures in place on `threads` workers —
+  /// build() already runs both; public so benches and differential tests
+  /// can time and cross-check the parallel passes in isolation. Results are
+  /// byte-identical at any thread count: the transpose restores the exact
+  /// sequential per-target source order, and the excitation sweep writes
+  /// each state's masks from that state's own edges only (the silent-ε
+  /// closure stays sequential). Unlike build() — which falls back to the
+  /// sequential loops below a size floor — an explicit width here is
+  /// honored on any graph, so differentials can drive the parallel path on
+  /// small inputs.
+  void rebuild_reverse_csr(int threads = 1);
+  void recompute_excitation(int threads = 1);
+
  private:
   Stg stg_;
+  std::shared_ptr<MarkingArena> arena_;
   std::vector<SgState> states_;
   std::vector<int> old_state_;  ///< for filtered graphs: new id -> original
   // Forward CSR: out-edges of state s are entries out_row_[s]..out_row_[s+1]
@@ -225,15 +277,29 @@ class StateGraph {
 
   // Exploration phase of build(): fill states_/out CSR/level_sizes_ and the
   // per-state switching parities; v0 accumulates initial-value constraints.
+  /// One lazily-spawned WorkPool shared by the parallel exploration and the
+  /// post-exploration passes of a single build (defined in stategraph.cpp).
+  struct PoolHandle;
+
   void explore_sequential(const SgOptions& opts,
                           std::vector<std::uint64_t>* parity,
                           std::vector<signed char>* v0);
   void explore_parallel(const SgOptions& opts, int threads,
                         std::vector<std::uint64_t>* parity,
-                        std::vector<signed char>* v0);
+                        std::vector<signed char>* v0, PoolHandle* pool);
 
-  void build_reverse_csr();
-  void compute_excitation();
+  // With threads > 1 the passes chunk their sweeps across the shared pool;
+  // unless forced, inputs below a size floor fall back to the sequential
+  // loops (identical bytes, no distribution overhead on tiny graphs).
+  void build_reverse_csr(int threads, PoolHandle* pool,
+                         bool force_parallel = false);
+  void compute_excitation(int threads, PoolHandle* pool,
+                          bool force_parallel = false);
 };
+
+/// Full structural equality through the public API: states (marking, code),
+/// both CSR directions, old-state maps, excitation masks, levels. Used by
+/// the incremental-reduce cross-check and the determinism tests.
+bool identical_graphs(const StateGraph& a, const StateGraph& b);
 
 }  // namespace rtcad

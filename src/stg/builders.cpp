@@ -266,4 +266,72 @@ Stg pipeline_stg(int stages) {
   return b.finish();
 }
 
+Stg ring_stg(int stages) {
+  RTCAD_EXPECTS(stages >= 2 && stages <= 64);
+  Builder b("ring" + std::to_string(stages));
+  std::vector<int> sig(stages);
+  for (int i = 0; i < stages; ++i) {
+    const std::string name = "s" + std::to_string(i);
+    sig[i] = (i % 2 == 0) ? b.in(name) : b.out(name);
+  }
+  std::vector<int> rise(stages), fall(stages);
+  for (int i = 0; i < stages; ++i) {
+    rise[i] = b.rise(sig[i]);
+    fall[i] = b.fall(sig[i]);
+  }
+  // Coupling i orders signal i against its ring successor j exactly like a
+  // pipeline stage; every fall[j] -> rise[i] place starts marked (all
+  // couplings idle). Seeded couplings carry the two tokens that break the
+  // rise-chain and fall-chain circular waits: each seed launches one wave
+  // circulating the ring, and the waves interleave freely, so the state
+  // count grows exponentially with the stage count. Seeds sit one per four
+  // couplings — closer spacing puts a launching wave inside its
+  // neighbour's handshake, which is inconsistent (the shared signal would
+  // need two initial values). Rings too short for a spaced seed (< 4
+  // stages) seed the wrap-around coupling alone.
+  for (int i = 0; i < stages; ++i) {
+    const int j = (i + 1) % stages;
+    const int seed =
+        (i % 4 == 3 || (stages < 4 && i == stages - 1)) ? 1 : 0;
+    b.arc(rise[i], rise[j], seed);
+    b.arc(rise[j], fall[i]);
+    b.arc(fall[i], fall[j], seed);
+    b.arc(fall[j], rise[i], 1);
+  }
+  return b.finish();
+}
+
+std::optional<Stg> generated_spec(const std::string& name) {
+  const auto stage_count = [&](const char* prefix) -> std::optional<int> {
+    std::size_t len = 0;
+    while (prefix[len] != '\0') ++len;
+    if (name.size() <= len || name.compare(0, len, prefix) != 0)
+      return std::nullopt;
+    int n = 0;
+    for (std::size_t i = len; i < name.size(); ++i) {
+      const char c = name[i];
+      if (c < '0' || c > '9') return std::nullopt;
+      if (n > 1000)
+        throw SpecError("generated spec '" + name +
+                        "': stage count out of range");
+      n = n * 10 + (c - '0');
+    }
+    return n;
+  };
+  std::optional<Stg> out;
+  if (const auto n = stage_count("pipeline")) {
+    if (*n < 1 || *n > 63)
+      throw SpecError("generated spec '" + name +
+                      "': pipeline stages must be in [1, 63]");
+    out = pipeline_stg(*n);
+  } else if (const auto n = stage_count("ring")) {
+    if (*n < 2 || *n > 64)
+      throw SpecError("generated spec '" + name +
+                      "': ring stages must be in [2, 64]");
+    out = ring_stg(*n);
+  }
+  if (out) out->set_name(name);
+  return out;
+}
+
 }  // namespace rtcad

@@ -15,6 +15,9 @@
 //                       exponentially with n (used by scaling benches).
 #pragma once
 
+#include <optional>
+#include <string>
+
 #include "stg/stg.hpp"
 
 namespace rtcad {
@@ -30,8 +33,21 @@ Stg celement_stg();
 Stg vme_stg();
 Stg toggle_stg();
 Stg pipeline_stg(int stages);
+/// Closed ring of `stages` handshake couplings (signal i alternates
+/// input/output around the ring). Like the pipeline, state count grows
+/// exponentially with the stage count — the second axis of the big-graph
+/// scaling family, but with every coupling closed instead of an open end.
+Stg ring_stg(int stages);
 /// Call element: two clients share one four-phase service; the environment
 /// chooses which request fires (free input choice — legal nondeterminism).
 Stg call_stg();
+
+/// Resolve a generated-spec name: "pipelineN" -> pipeline_stg(N),
+/// "ringN" -> ring_stg(N), renamed to the requested name. Returns nullopt
+/// for names outside the family; throws SpecError when the name matches
+/// but N is out of range. This is how the CLI crosses the 10^6-state line
+/// without shipping megabyte .g files: `--spec pipeline20` builds the spec
+/// programmatically when no such file exists.
+std::optional<Stg> generated_spec(const std::string& name);
 
 }  // namespace rtcad

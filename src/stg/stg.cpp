@@ -4,13 +4,17 @@
 
 namespace rtcad {
 
-std::size_t marking_hash(const Marking& m) {
+std::size_t marking_hash(const std::uint8_t* m, std::size_t n) {
   std::uint64_t h = 1469598103934665603ull;
-  for (auto c : m) {
-    h ^= c;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= m[i];
     h *= 1099511628211ull;
   }
   return static_cast<std::size_t>(h);
+}
+
+std::size_t marking_hash(const Marking& m) {
+  return marking_hash(m.data(), m.size());
 }
 
 int Stg::add_signal(const std::string& name, SignalKind kind) {
@@ -163,7 +167,7 @@ Marking Stg::initial_marking() const {
   return m;
 }
 
-bool Stg::enabled(const Marking& m, int t) const {
+bool Stg::enabled(const std::uint8_t* m, int t) const {
   for (int p : transitions_[t].pre) {
     if (m[p] == 0) return false;
   }
@@ -176,7 +180,8 @@ std::vector<int> Stg::enabled_transitions(const Marking& m) const {
   return out;
 }
 
-void Stg::enabled_transitions(const Marking& m, std::vector<int>* out) const {
+void Stg::enabled_transitions(const std::uint8_t* m,
+                              std::vector<int>* out) const {
   out->clear();
   for (int t = 0; t < num_transitions(); ++t) {
     if (enabled(m, t)) out->push_back(t);
@@ -189,9 +194,9 @@ Marking Stg::fire(const Marking& m, int t) const {
   return next;
 }
 
-void Stg::fire_into(const Marking& m, int t, Marking* next) const {
+void Stg::fire_into(const std::uint8_t* m, int t, Marking* next) const {
   RTCAD_EXPECTS(enabled(m, t));
-  *next = m;
+  next->assign(m, m + places_.size());
   for (int p : transitions_[t].pre) --(*next)[p];
   for (int p : transitions_[t].post) {
     if ((*next)[p] == 255)

@@ -20,6 +20,7 @@ namespace rtcad {
 /// Token counts per place, indexed by place id.
 using Marking = std::vector<std::uint8_t>;
 
+std::size_t marking_hash(const std::uint8_t* m, std::size_t n);
 std::size_t marking_hash(const Marking& m);
 
 struct StgPlace {
@@ -95,16 +96,27 @@ class Stg {
 
   // --- token game --------------------------------------------------------
   Marking initial_marking() const;
-  bool enabled(const Marking& m, int t) const;
+  bool enabled(const Marking& m, int t) const { return enabled(m.data(), t); }
   std::vector<int> enabled_transitions(const Marking& m) const;
   /// Allocation-free variant for reachability hot paths: `*out` is cleared
   /// and refilled, reusing its capacity across calls.
-  void enabled_transitions(const Marking& m, std::vector<int>* out) const;
+  void enabled_transitions(const Marking& m, std::vector<int>* out) const {
+    enabled_transitions(m.data(), out);
+  }
   /// Fire transition `t` (must be enabled); returns successor marking.
   Marking fire(const Marking& m, int t) const;
   /// Fire into a caller-owned scratch marking; no allocation once `*next`
   /// has the right size.
-  void fire_into(const Marking& m, int t, Marking* next) const;
+  void fire_into(const Marking& m, int t, Marking* next) const {
+    fire_into(m.data(), t, next);
+  }
+
+  /// Raw-row overloads for markings living in a MarkingArena (contiguous
+  /// fixed-stride storage, stride = num_places()): same token game, no
+  /// Marking temporary on the read side.
+  bool enabled(const std::uint8_t* m, int t) const;
+  void enabled_transitions(const std::uint8_t* m, std::vector<int>* out) const;
+  void fire_into(const std::uint8_t* m, int t, Marking* next) const;
 
   // --- validation --------------------------------------------------------
   /// Structural sanity: every transition connected, every signal used edge-

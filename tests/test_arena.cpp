@@ -1,0 +1,109 @@
+// MarkingArena: the contiguous fixed-stride marking store behind every
+// StateGraph. Covers the container itself (stride, append/row/copy), the
+// build integration (slot == state id, rows match a reference
+// re-exploration) and the filtered() contract: reduced graphs share the
+// root arena and address rows through root slots, adding zero marking
+// bytes per reduction round.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "rt/generate.hpp"
+#include "rt/reduce.hpp"
+#include "sg/arena.hpp"
+#include "sg/stategraph.hpp"
+#include "stg/builders.hpp"
+
+namespace rtcad {
+namespace {
+
+TEST(MarkingArena, AppendRowCopyRoundTrip) {
+  MarkingArena arena(3);
+  EXPECT_EQ(arena.stride(), 3);
+  EXPECT_EQ(arena.size(), 0u);
+  EXPECT_EQ(arena.bytes(), 0u);
+
+  const std::uint8_t a[3] = {1, 0, 2};
+  const std::uint8_t b[3] = {0, 0, 0};
+  EXPECT_EQ(arena.append(a), 0u);
+  EXPECT_EQ(arena.append(b), 1u);
+  EXPECT_EQ(arena.size(), 2u);
+  EXPECT_EQ(arena.bytes(), 6u);
+
+  EXPECT_EQ(std::memcmp(arena.row(0), a, 3), 0);
+  EXPECT_EQ(std::memcmp(arena.row(1), b, 3), 0);
+  EXPECT_TRUE(arena.row_equals(0, a));
+  EXPECT_FALSE(arena.row_equals(1, a));
+  EXPECT_EQ(arena.copy(0), Marking({1, 0, 2}));
+  EXPECT_EQ(arena.copy(1), Marking({0, 0, 0}));
+}
+
+TEST(MarkingArena, RowsSurviveReallocation) {
+  MarkingArena arena(2);
+  std::vector<Marking> reference;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint8_t m[2] = {static_cast<std::uint8_t>(i & 0xff),
+                               static_cast<std::uint8_t>((i >> 8) & 0xff)};
+    reference.emplace_back(m, m + 2);
+    ASSERT_EQ(arena.append(m), static_cast<std::uint32_t>(i));
+  }
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_TRUE(arena.row_equals(static_cast<std::uint32_t>(i),
+                                 reference[static_cast<std::size_t>(i)]
+                                     .data()))
+        << "row " << i;
+}
+
+TEST(StateGraphArena, BuildRowsMatchTokenGameReplay) {
+  const Stg stg = pipeline_stg(4);
+  const StateGraph sg = StateGraph::build(stg);
+  ASSERT_EQ(sg.marking_stride(), stg.num_places());
+  EXPECT_EQ(sg.marking_copy(0), stg.initial_marking());
+  // Every edge's successor marking must be what firing the edge's
+  // transition on the source row yields — the arena rows ARE the markings.
+  Marking next;
+  sg.for_each_edge([&](int from, int transition, int to) {
+    stg.fire_into(sg.marking_data(from), transition, &next);
+    EXPECT_TRUE(std::equal(next.begin(), next.end(), sg.marking_data(to)))
+        << "edge " << from << " -[" << transition << "]-> " << to;
+  });
+  EXPECT_EQ(sg.arena_bytes(),
+            static_cast<std::size_t>(sg.num_states()) *
+                static_cast<std::size_t>(sg.marking_stride()));
+}
+
+TEST(StateGraphArena, FilteredGraphSharesRootArenaAndRemapsSlots) {
+  // fifo under ring-environment assumptions: a real reduction (states
+  // disappear, ids are renumbered) on a spec with silent transitions.
+  const StateGraph sg = StateGraph::build(fifo_stg());
+  GenerateOptions gen;
+  gen.ring_environment = true;
+  const auto assumptions = generate_assumptions(sg, gen);
+  ASSERT_FALSE(assumptions.empty());
+  const ReduceResult red = reduce(sg, assumptions);
+  ASSERT_LT(red.sg.num_states(), sg.num_states());
+
+  // Shared arena: the reduction added no marking bytes, and each surviving
+  // state's row is its original state's row (same pointer, not just the
+  // same bytes).
+  EXPECT_EQ(red.sg.arena_bytes(), sg.arena_bytes());
+  EXPECT_EQ(red.sg.marking_stride(), sg.marking_stride());
+  for (int s = 0; s < red.sg.num_states(); ++s) {
+    EXPECT_EQ(red.sg.marking_data(s), sg.marking_data(red.sg.old_state_of(s)))
+        << "state " << s;
+    EXPECT_EQ(red.sg.marking_copy(s), sg.marking_copy(red.sg.old_state_of(s)))
+        << "state " << s;
+  }
+
+  // A second-level filter (chained reduction) still addresses the ROOT
+  // arena: old_state_of composes, and so do the slots.
+  const StateGraph twice =
+      red.sg.filtered([](int, int) { return true; });
+  EXPECT_EQ(twice.arena_bytes(), sg.arena_bytes());
+  for (int s = 0; s < twice.num_states(); ++s)
+    EXPECT_EQ(twice.marking_data(s), sg.marking_data(twice.old_state_of(s)))
+        << "state " << s;
+}
+
+}  // namespace
+}  // namespace rtcad

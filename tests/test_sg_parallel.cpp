@@ -26,7 +26,7 @@ void expect_identical(const StateGraph& a, const StateGraph& b) {
   ASSERT_EQ(a.num_edges(), b.num_edges());
   ASSERT_EQ(a.level_sizes(), b.level_sizes());
   for (int s = 0; s < a.num_states(); ++s) {
-    ASSERT_EQ(a.state(s).marking, b.state(s).marking) << "state " << s;
+    ASSERT_EQ(a.marking_copy(s), b.marking_copy(s)) << "state " << s;
     ASSERT_EQ(a.code(s), b.code(s)) << "state " << s;
     ASSERT_EQ(a.out_degree(s), b.out_degree(s)) << "state " << s;
     for (int i = 0; i < a.out_degree(s); ++i) {
@@ -160,6 +160,28 @@ TEST(ParallelStateGraph, TokenBoundErrorIdenticalAcrossThreads) {
   const std::string e1 = error_of(pump, t1);
   EXPECT_NE(e1.find("token bound"), std::string::npos);
   EXPECT_EQ(e1, error_of(pump, t8));
+}
+
+// The post-exploration passes (reverse-CSR transpose, excitation sweep)
+// also parallelise; rerunning them at 8 workers on a graph big enough to
+// take the parallel path must reproduce the sequential bytes — including
+// the excitation masks, which identical_graphs compares and
+// expect_identical does not.
+TEST(ParallelStateGraph, DerivedPassesIdenticalAt8Threads) {
+  const Stg big = pipeline_stg(14);  // 139k edges: above the parallel floor
+  const StateGraph t1 = build_with_threads(big, 1);
+  StateGraph t8 = t1;
+  t8.rebuild_reverse_csr(8);
+  t8.recompute_excitation(8);
+  expect_identical(t1, t8);
+  EXPECT_TRUE(identical_graphs(t1, t8));
+  // And on a spec with silent transitions (the sequential ε-closure tail
+  // after the parallel direct sweep).
+  const StateGraph f1 = build_with_threads(fifo_stg(), 1);
+  StateGraph f8 = f1;
+  f8.rebuild_reverse_csr(8);
+  f8.recompute_excitation(8);
+  EXPECT_TRUE(identical_graphs(f1, f8));
 }
 
 TEST(ParallelStateGraph, ThreadsZeroPicksHardwareConcurrency) {

@@ -65,7 +65,9 @@ const char* const kCorpusFlags =
     "  --corpus builtin     every built-in specification (default when no\n"
     "                       --spec is given)\n"
     "  --spec FILE.g        add a .g STG file (repeatable; corpus order =\n"
-    "                       command-line order, after the built-ins)\n"
+    "                       command-line order, after the built-ins).\n"
+    "                       Names like pipelineN / ringN with no such file\n"
+    "                       on disk build the generated scaling spec\n"
     "  --pipeline-stages N  largest built-in pipeline (default 6)\n"
     "\n"
     "flow options (apply to --spec files; built-ins choose their own "
@@ -99,9 +101,12 @@ void print_command_usage(std::FILE* to, const char* argv0,
         "Run exactly one specification through the staged flow and emit\n"
         "the canonical one-item batch JSON.\n"
         "\n"
-        "  --spec FILE.g        the specification (required, exactly once)\n"
+        "  --spec FILE.g        the specification (required, exactly once).\n"
+        "                       A name like pipeline20 or ring12 with no\n"
+        "                       such file builds the generated scaling spec\n"
         "  --mode si|rt         synthesis mode (default rt)\n"
-        "  --max-states N       reachability cap (default 2^20)\n"
+        "  --max-states N       reachability cap (default 2^20); raise it\n"
+        "                       for generated specs past pipeline19\n"
         "  --to STAGE           run through STAGE and stop (default synth;\n"
         "                       see `list-stages`). `--to verify-netlist`\n"
         "                       is the full Figure 2 flow\n"
