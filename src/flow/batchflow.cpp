@@ -20,10 +20,12 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// One item through the staged pipeline. Failure isolation comes for
-/// free: FlowPipeline::run never throws for flow-level reasons, and its
-/// StageError already speaks the BatchDiagnostic vocabulary.
-BatchItemResult run_one(const BatchSpec& item, const FlowContext& ctx) {
+}  // namespace
+
+// Failure isolation comes for free: FlowPipeline::run never throws for
+// flow-level reasons, and its StageError already speaks the
+// BatchDiagnostic vocabulary.
+BatchItemResult run_batch_item(const BatchSpec& item, const FlowContext& ctx) {
   BatchItemResult r;
   r.name = item.name;
   if (item.load_error) {
@@ -37,8 +39,6 @@ BatchItemResult run_one(const BatchSpec& item, const FlowContext& ctx) {
   r.wall_ms = ms_since(start);
   return r;
 }
-
-}  // namespace
 
 BatchItemResult to_batch_item(const std::string& name,
                               const PipelineResult& run) {
@@ -88,7 +88,7 @@ BatchResult run_batch(const std::vector<BatchSpec>& corpus,
   // is independent of scheduling.
   WorkPool pool(static_cast<int>(workers));
   pool.for_each_index(corpus.size(), [&corpus, &result, &ctx](std::size_t i) {
-    result.items[i] = run_one(corpus[i], ctx);
+    result.items[i] = run_batch_item(corpus[i], ctx);
   });
 
   for (const auto& item : result.items) {

@@ -111,6 +111,14 @@ BatchResult run_batch(const std::vector<BatchSpec>& corpus,
 BatchResult run_batch(const std::vector<BatchSpec>& corpus,
                       const FlowContext& ctx);
 
+/// Run ONE corpus entry through the staged pipeline under `ctx` — the
+/// per-item kernel of run_batch, exported for drivers that interleave
+/// their own bookkeeping between items: the result cache
+/// (flow/cache.hpp), shard checkpointing (run_shard_resume), and the
+/// serving daemon (flow/service.hpp). Never throws for flow-level
+/// reasons; `wall_ms` is filled.
+BatchItemResult run_batch_item(const BatchSpec& item, const FlowContext& ctx);
+
 /// Fold one finished pipeline run into the batch-item vocabulary: flow
 /// statistics kept, netlists dropped, a StageError mapped to the item's
 /// diagnostic. The single mapping shared by the batch engine and

@@ -26,6 +26,7 @@
 //     around.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,15 @@ struct FlowContext {
   /// Optional, not owned; must outlive the run. Shared by every stage of
   /// every item driven under this context.
   const CancelToken* cancel = nullptr;
+  /// Optional stage-completion observer: the pipeline invokes it with the
+  /// finished StageTrace immediately after each stage (including a failed
+  /// or skipped one), before the next stage starts. This is the streaming
+  /// seam the serving daemon and `run --trace` push progress through; it
+  /// observes, never alters — the trace recorded in PipelineResult is
+  /// byte-identical with or without an observer. Under a batch the
+  /// observer fires from whichever worker runs the item, so it must be
+  /// thread-safe when the corpus level is parallel.
+  std::function<void(const StageTrace&)> on_stage;
 
   bool cancelled() const { return cancel && cancel->cancelled(); }
   void check_cancelled(const char* where) const {

@@ -1,14 +1,17 @@
 // Umbrella header for the flow API: one include for everything a driver
 // needs — FlowPipeline and the stage registry, FlowContext (thread budget
 // + cancellation + structured traces), FlowOptions/FlowResult and the
-// run_flow compatibility wrapper, the batch engine, and the shard
-// protocol. Tools, tests and benches include this instead of the
-// scattered per-layer headers; the per-layer headers stay includable for
-// code that genuinely depends on one layer only.
+// run_flow compatibility wrapper, the batch engine, the shard protocol,
+// the content-addressed result cache, and the serving daemon. Tools,
+// tests and benches include this instead of the scattered per-layer
+// headers; the per-layer headers stay includable for code that genuinely
+// depends on one layer only.
 #pragma once
 
 #include "flow/batchflow.hpp"   // IWYU pragma: export
+#include "flow/cache.hpp"       // IWYU pragma: export
 #include "flow/context.hpp"     // IWYU pragma: export
 #include "flow/pipeline.hpp"    // IWYU pragma: export
 #include "flow/rtflow.hpp"      // IWYU pragma: export
+#include "flow/service.hpp"     // IWYU pragma: export
 #include "flow/shard.hpp"       // IWYU pragma: export

@@ -607,11 +607,13 @@ PipelineResult FlowPipeline::run(const Stg& spec, const FlowOptions& opts,
           StageError{name, trace.error_kind, trace.error_message};
       out.exception = e;
       out.trace.push_back(std::move(trace));
+      if (ctx.on_stage) ctx.on_stage(out.trace.back());
       out.flow = std::move(st.result);
       return out;
     }
     trace.wall_ms = ms_since(start);
     out.trace.push_back(std::move(trace));
+    if (ctx.on_stage) ctx.on_stage(out.trace.back());
   }
   out.flow = std::move(st.result);
   return out;

@@ -1,0 +1,668 @@
+#include "flow/service.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "flow/batchflow.hpp"
+#include "flow/cache.hpp"
+#include "flow/pipeline.hpp"
+#include "stg/parse.hpp"
+#include "util/strings.hpp"
+#include "util/workpool.hpp"
+
+namespace rtcad {
+namespace {
+
+// --- low-level socket plumbing ---------------------------------------------
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Fill a sockaddr_un; throws when the path exceeds sun_path.
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw Error(strprintf("socket path too long (%zu bytes, max %zu): ",
+                          path.size(), sizeof(addr.sun_path) - 1) +
+                path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Write all of `data`; returns false once the peer is gone (EPIPE/reset).
+/// MSG_NOSIGNAL: a disconnected client must never SIGPIPE the daemon.
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_line(int fd, const std::string& line) {
+  const std::string out = line + "\n";
+  return send_all(fd, out.data(), out.size());
+}
+
+/// Buffered reader over a socket: LF-terminated lines plus exact-count
+/// raw reads (for the framed spec payload).
+class SocketReader {
+ public:
+  explicit SocketReader(int fd) : fd_(fd) {}
+
+  /// Next line without its newline; false on EOF/error before a newline.
+  bool read_line(std::string* line) {
+    line->clear();
+    for (;;) {
+      const std::size_t nl = buf_.find('\n', scan_);
+      if (nl != std::string::npos) {
+        *line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        scan_ = 0;
+        return true;
+      }
+      scan_ = buf_.size();
+      if (!fill()) return false;
+    }
+  }
+
+  /// Exactly `n` raw bytes; false on early EOF.
+  bool read_exact(std::string* out, std::size_t n) {
+    while (buf_.size() < n)
+      if (!fill()) return false;
+    *out = buf_.substr(0, n);
+    buf_.erase(0, n);
+    scan_ = 0;
+    return true;
+  }
+
+ private:
+  bool fill() {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+  }
+
+  int fd_;
+  std::string buf_;
+  std::size_t scan_ = 0;
+};
+
+int connect_to(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error(strprintf("socket(): %s", std::strerror(errno)));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    close_fd(fd);
+    throw Error("cannot connect to '" + path + "': " + std::strerror(err));
+  }
+  return fd;
+}
+
+const char* status_word(StageStatus s) {
+  switch (s) {
+    case StageStatus::kOk: return "ok";
+    case StageStatus::kSkipped: return "skipped";
+    case StageStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+/// One-line stage report: summaries never contain newlines by the trace
+/// contract, but a defensive flattening keeps the protocol line-safe.
+std::string stage_line(const StageTrace& t) {
+  std::string text =
+      t.status == StageStatus::kFailed ? t.error_message : t.summary;
+  for (char& c : text)
+    if (c == '\n' || c == '\r') c = ' ';
+  return "stage " + t.stage + " " + status_word(t.status) + " " + text;
+}
+
+}  // namespace
+
+// --- server -----------------------------------------------------------------
+
+struct FlowService::Impl {
+  explicit Impl(ServeOptions o) : opts(std::move(o)) {}
+
+  ServeOptions opts;
+  std::optional<ResultCache> cache;  // constructed at start() when dir given
+
+  int listen_fd = -1;
+  std::thread acceptor;
+  std::vector<std::thread> handlers;
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  bool stopping = false;
+  bool shutdown_requested = false;  // via the wire
+  int active_flows = 0;             // gate occupancy
+  int flow_limit = 1;
+  std::set<int> open_fds;                       // to shutdown() on stop
+  std::set<const CancelToken*> active_tokens;   // to cancel on stop
+  ServeStats stat;
+
+  // --- gate: at most `flow_limit` concurrent pipeline runs ---------------
+  void gate_acquire() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return active_flows < flow_limit || stopping; });
+    ++active_flows;
+  }
+  void gate_release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      --active_flows;
+    }
+    cv.notify_all();
+  }
+
+  void track_fd(int fd, bool add) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (add)
+      open_fds.insert(fd);
+    else
+      open_fds.erase(fd);
+  }
+
+  void track_token(const CancelToken* t, bool add) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (add)
+      active_tokens.insert(t);
+    else
+      active_tokens.erase(t);
+  }
+
+  void bump(long long ServeStats::* field) {
+    std::lock_guard<std::mutex> lock(mu);
+    stat.*field += 1;
+  }
+
+  // --- request handling ---------------------------------------------------
+
+  void handle_connection(int fd) {
+    SocketReader in(fd);
+    std::string line;
+    const std::string banner = strprintf("rtflow-serve %d", kServeProtocol);
+
+    const auto protocol_error = [&](const std::string& message) {
+      bump(&ServeStats::protocol_errors);
+      send_line(fd, banner);
+      send_line(fd, "error " + message);
+    };
+
+    if (!in.read_line(&line) || line != banner) {
+      protocol_error(strprintf("expected banner '%s'", banner.c_str()));
+      return;
+    }
+    if (!in.read_line(&line)) {
+      protocol_error("missing verb");
+      return;
+    }
+
+    if (line == "ping") {
+      send_line(fd, banner);
+      send_line(fd, "pong");
+      return;
+    }
+    if (line == "stats") {
+      std::lock_guard<std::mutex> lock(mu);
+      send_line(fd, banner);
+      send_line(fd, strprintf("stats requests=%lld cache_hits=%lld "
+                              "cache_misses=%lld cancelled=%lld "
+                              "protocol_errors=%lld active=%d",
+                              stat.requests, stat.cache_hits,
+                              stat.cache_misses, stat.cancelled,
+                              stat.protocol_errors, active_flows));
+      return;
+    }
+    if (line == "shutdown") {
+      send_line(fd, banner);
+      send_line(fd, "bye");
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        shutdown_requested = true;
+      }
+      cv.notify_all();
+      return;
+    }
+    if (line != "submit") {
+      protocol_error("unknown verb '" + line + "'");
+      return;
+    }
+    handle_submit(fd, &in, protocol_error);
+  }
+
+  void handle_submit(
+      int fd, SocketReader* in,
+      const std::function<void(const std::string&)>& protocol_error) {
+    SubmitRequest req;
+    req.name = "<submitted>";
+    bool have_spec = false;
+
+    std::string line;
+    for (;;) {
+      if (!in->read_line(&line)) {
+        protocol_error("connection closed before 'run'");
+        return;
+      }
+      if (line == "run") break;
+      const std::size_t sp = line.find(' ');
+      const std::string word = line.substr(0, sp);
+      const std::string val =
+          sp == std::string::npos ? "" : line.substr(sp + 1);
+      if (word == "name") {
+        req.name = val;
+      } else if (word == "mode") {
+        if (val == "rt") {
+          req.mode = FlowMode::kRelativeTiming;
+        } else if (val == "si") {
+          req.mode = FlowMode::kSpeedIndependent;
+        } else {
+          protocol_error("unknown mode '" + val + "'");
+          return;
+        }
+      } else if (word == "max-states") {
+        const long long n = std::atoll(val.c_str());
+        if (n < 1) {
+          protocol_error("max-states must be >= 1");
+          return;
+        }
+        req.max_states = static_cast<std::size_t>(n);
+      } else if (word == "to") {
+        if (stage_rank(val) < 0) {
+          protocol_error("unknown stage '" + val + "'");
+          return;
+        }
+        req.stop_after = val;
+      } else if (word == "deadline-ms") {
+        const long long n = std::atoll(val.c_str());
+        if (n < 0 || (n == 0 && val != "0")) {
+          protocol_error("deadline-ms must be a number >= 0");
+          return;
+        }
+        req.deadline_ms = static_cast<long>(n);
+      } else if (word == "cache") {
+        if (val != "on" && val != "off") {
+          protocol_error("cache must be on|off");
+          return;
+        }
+        req.use_cache = val == "on";
+      } else if (word == "spec") {
+        const long long n = std::atoll(val.c_str());
+        if (n < 0 ||
+            static_cast<std::size_t>(n) > opts.max_spec_bytes) {
+          protocol_error(strprintf("spec size out of range (max %zu)",
+                                   opts.max_spec_bytes));
+          return;
+        }
+        if (!in->read_exact(&req.spec_text, static_cast<std::size_t>(n))) {
+          protocol_error("connection closed inside spec payload");
+          return;
+        }
+        std::string newline;
+        if (!in->read_exact(&newline, 1) || newline != "\n") {
+          protocol_error("spec payload must end with a newline");
+          return;
+        }
+        have_spec = true;
+      } else {
+        protocol_error("unknown header '" + word + "'");
+        return;
+      }
+    }
+    if (!have_spec) {
+      protocol_error("missing spec payload");
+      return;
+    }
+
+    bump(&ServeStats::requests);
+
+    // Assemble the batch item exactly like load_corpus_files would, so a
+    // submission and a file-driven batch produce identical records.
+    BatchSpec item;
+    item.name = req.name;
+    item.opts.mode = req.mode;
+    if (req.max_states > 0) item.opts.sg.max_states = req.max_states;
+    item.opts.stop_after = req.stop_after;
+    try {
+      item.spec = parse_stg_string(req.spec_text, req.name);
+    } catch (const Error& e) {
+      item.load_error = BatchDiagnostic{"parse", e.what()};
+    }
+
+    const std::string banner = strprintf("rtflow-serve %d", kServeProtocol);
+    // From here on the client may vanish at any time; `alive` latches the
+    // first failed write and cancels the request's flow.
+    CancelToken token;
+    bool alive = send_line(fd, banner);
+    const auto say = [&](const std::string& l) {
+      if (alive && !send_line(fd, l)) {
+        alive = false;
+        token.request_cancel();  // client gone: stop burning its budget
+      }
+    };
+
+    const bool cacheable = cache.has_value() && !item.load_error;
+    const std::string key = cacheable ? cache_key(item) : std::string();
+    say("accepted key=" + (key.empty() ? "-" : key));
+
+    BatchItemResult result;
+    bool served_from_cache = false;
+    if (cacheable && req.use_cache) {
+      std::optional<BatchItemResult> hit;
+      try {
+        hit = cache->lookup(key);
+      } catch (const Error& e) {
+        // A corrupt store entry must be loud, not silently recomputed.
+        say(std::string("error ") + e.what());
+        return;
+      }
+      if (hit) {
+        bump(&ServeStats::cache_hits);
+        say("cache hit");
+        result = std::move(*hit);
+        served_from_cache = true;
+      }
+    }
+
+    if (!served_from_cache) {
+      say(cacheable ? (req.use_cache ? "cache miss" : "cache off")
+                    : "cache off");
+      if (cacheable && req.use_cache) bump(&ServeStats::cache_misses);
+
+      if (req.deadline_ms >= 0)
+        token.set_timeout(std::chrono::milliseconds(req.deadline_ms));
+
+      FlowContext ctx;
+      ctx.budget = opts.budget;
+      ctx.cancel = &token;
+      ctx.on_stage = [&](const StageTrace& t) { say(stage_line(t)); };
+
+      track_token(&token, true);
+      gate_acquire();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping) token.request_cancel();
+      }
+      result = run_batch_item(item, ctx);
+      gate_release();
+      track_token(&token, false);
+
+      const bool was_cancelled =
+          !result.ok && result.diagnostic.kind == "cancelled";
+      if (was_cancelled) bump(&ServeStats::cancelled);
+      // Populate the store — never with cancellation noise.
+      if (cacheable && req.use_cache && !was_cancelled) {
+        try {
+          cache->store(key, result);
+        } catch (const Error& e) {
+          say(std::string("error ") + e.what());
+          return;
+        }
+      }
+    }
+
+    const std::string record = item_record_json(result);
+    say(strprintf("record %zu", record.size()));
+    if (alive && !send_all(fd, record.data(), record.size())) alive = false;
+    say("");  // terminate the record payload line
+    say("done");
+  }
+
+  void accept_loop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        // stop() closed the listening socket (or a real error): drain out.
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping) {
+          close_fd(fd);
+          return;
+        }
+        handlers.emplace_back([this, fd] {
+          track_fd(fd, true);
+          handle_connection(fd);
+          track_fd(fd, false);
+          close_fd(fd);
+        });
+      }
+    }
+  }
+};
+
+FlowService::FlowService(ServeOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts))) {}
+
+FlowService::~FlowService() { stop(); }
+
+const std::string& FlowService::socket_path() const {
+  return impl_->opts.socket_path;
+}
+
+bool FlowService::running() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->started && !impl_->stopping;
+}
+
+ServeStats FlowService::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stat;
+}
+
+void FlowService::start() {
+  Impl& im = *impl_;
+  RTCAD_EXPECTS(!im.started);
+  const std::string& path = im.opts.socket_path;
+  if (path.empty()) throw Error("serve: socket path must not be empty");
+
+  if (!im.opts.cache_dir.empty()) im.cache.emplace(im.opts.cache_dir);
+  im.flow_limit =
+      std::max(1, WorkPool::effective_threads(im.opts.budget.corpus));
+
+  // A live server on this path is a configuration error; a stale socket
+  // file from a dead one is replaced.
+  const sockaddr_un addr = make_addr(path);
+  try {
+    const int probe = connect_to(path);
+    close_fd(probe);
+    throw Error("serve: '" + path + "' is already served by a live daemon");
+  } catch (const Error& e) {
+    if (std::string(e.what()).find("already served") != std::string::npos)
+      throw;
+    // Unreachable: stale or absent; fall through and (re)bind.
+  }
+  ::unlink(path.c_str());
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error(strprintf("socket(): %s", std::strerror(errno)));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    close_fd(fd);
+    throw Error("cannot bind '" + path + "': " + std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    close_fd(fd);
+    ::unlink(path.c_str());
+    throw Error("cannot listen on '" + path + "': " + std::strerror(err));
+  }
+  im.listen_fd = fd;
+  im.started = true;
+  im.stopping = false;
+  im.acceptor = std::thread([&im] { im.accept_loop(); });
+}
+
+void FlowService::stop() {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (!im.started || im.stopping) {
+      if (!im.started) return;
+      if (im.stopping && !im.acceptor.joinable()) return;
+    }
+    im.stopping = true;
+    // Cancel in-flight flows; they observe at the next round boundary.
+    for (const CancelToken* t : im.active_tokens)
+      const_cast<CancelToken*>(t)->request_cancel();
+    // Unblock reads so handler threads can exit.
+    for (const int fd : im.open_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  im.cv.notify_all();
+  // Closing the listening socket pops accept() out with an error.
+  if (im.listen_fd >= 0) {
+    ::shutdown(im.listen_fd, SHUT_RDWR);
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+  }
+  if (im.acceptor.joinable()) im.acceptor.join();
+  // No new handlers can appear now (acceptor is gone); join the rest.
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    handlers.swap(im.handlers);
+  }
+  for (std::thread& t : handlers)
+    if (t.joinable()) t.join();
+  ::unlink(im.opts.socket_path.c_str());
+}
+
+void FlowService::wait(const std::function<bool()>& keep_running) {
+  Impl& im = *impl_;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(im.mu);
+      im.cv.wait_for(lock, std::chrono::milliseconds(200), [&im] {
+        return im.shutdown_requested || im.stopping;
+      });
+      if (im.shutdown_requested || im.stopping) break;
+    }
+    if (keep_running && !keep_running()) break;
+  }
+  stop();
+}
+
+// --- client -----------------------------------------------------------------
+
+SubmitResult serve_submit(
+    const std::string& socket_path, const SubmitRequest& req,
+    const std::function<void(const std::string& line)>& on_line) {
+  const int fd = connect_to(socket_path);
+  SubmitResult out;
+  const std::string banner = strprintf("rtflow-serve %d", kServeProtocol);
+
+  std::string msg;
+  msg += banner + "\n";
+  msg += "submit\n";
+  if (!req.name.empty()) msg += "name " + req.name + "\n";
+  msg += req.mode == FlowMode::kRelativeTiming ? "mode rt\n" : "mode si\n";
+  if (req.max_states > 0)
+    msg += strprintf("max-states %zu\n", req.max_states);
+  if (!req.stop_after.empty()) msg += "to " + req.stop_after + "\n";
+  if (req.deadline_ms >= 0)
+    msg += strprintf("deadline-ms %ld\n", req.deadline_ms);
+  msg += req.use_cache ? "cache on\n" : "cache off\n";
+  msg += strprintf("spec %zu\n", req.spec_text.size());
+  msg += req.spec_text;
+  msg += "\nrun\n";
+  if (!send_all(fd, msg.data(), msg.size())) {
+    close_fd(fd);
+    out.error = "connection closed while sending the request";
+    return out;
+  }
+
+  SocketReader in(fd);
+  std::string line;
+  if (!in.read_line(&line) || line != banner) {
+    close_fd(fd);
+    out.error = "server did not answer with the protocol banner";
+    return out;
+  }
+  while (in.read_line(&line)) {
+    if (on_line) on_line(line);
+    if (starts_with(line, "error ")) {
+      out.error = line.substr(6);
+      break;
+    }
+    if (starts_with(line, "accepted key=")) {
+      out.key = line.substr(std::string("accepted key=").size());
+    } else if (starts_with(line, "cache ")) {
+      out.cache_status = line.substr(6);
+    } else if (starts_with(line, "stage ")) {
+      out.stage_lines.push_back(line.substr(6));
+    } else if (starts_with(line, "record ")) {
+      const long long n = std::atoll(line.c_str() + 7);
+      if (n < 0 || !in.read_exact(&out.record_json,
+                                  static_cast<std::size_t>(n))) {
+        out.error = "truncated record payload";
+        break;
+      }
+      std::string newline;
+      in.read_exact(&newline, 1);  // payload-terminating newline
+    } else if (line == "done") {
+      out.protocol_ok = true;
+      break;
+    } else {
+      out.error = "unexpected response line: " + line;
+      break;
+    }
+  }
+  if (!out.protocol_ok && out.error.empty())
+    out.error = "connection closed before 'done'";
+  close_fd(fd);
+  return out;
+}
+
+std::string serve_control(const std::string& socket_path,
+                          const std::string& verb) {
+  const int fd = connect_to(socket_path);
+  const std::string banner = strprintf("rtflow-serve %d", kServeProtocol);
+  const std::string msg = banner + "\n" + verb + "\n";
+  if (!send_all(fd, msg.data(), msg.size())) {
+    close_fd(fd);
+    throw Error("connection closed while sending '" + verb + "'");
+  }
+  SocketReader in(fd);
+  std::string line;
+  if (!in.read_line(&line) || line != banner) {
+    close_fd(fd);
+    throw Error("server did not answer with the protocol banner");
+  }
+  if (!in.read_line(&line)) {
+    close_fd(fd);
+    throw Error("connection closed before a response to '" + verb + "'");
+  }
+  close_fd(fd);
+  return line;
+}
+
+}  // namespace rtcad

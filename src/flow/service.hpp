@@ -1,0 +1,152 @@
+// Flow-as-a-service: a long-running daemon that accepts specification
+// submissions over a local Unix-domain socket, schedules them on the
+// FlowContext ThreadBudget, streams per-stage progress, honors
+// per-request CancelToken deadlines, and consults/populates the
+// content-addressed result cache. `rtflow_cli serve` is a thin wrapper
+// over FlowService; `rtflow_cli submit` over serve_submit. Tests drive
+// both in-process.
+//
+// Wire protocol (line-oriented, LF-terminated, one request per
+// connection; normative reference in docs/CLI.md):
+//
+//   client -> server
+//     rtflow-serve 1
+//     submit
+//     name <display name>            (optional; default "<socket>")
+//     mode rt|si                     (optional; default rt)
+//     max-states <N>                 (optional)
+//     to <stage>                     (optional; see list-stages)
+//     deadline-ms <N>                (optional; per-request CancelToken)
+//     cache on|off                   (optional; default on when the
+//                                     server has a store)
+//     spec <byte-count>              (then exactly that many raw bytes
+//     <.g specification bytes>        of .g text, then a newline)
+//     run
+//
+//   server -> client (streamed as produced)
+//     rtflow-serve 1
+//     accepted key=<64 hex | ->      ("-": no store or load error)
+//     cache hit|miss|off
+//     stage <name> <ok|skipped|failed> <summary|error>   (misses only,
+//                                     one line per finished stage)
+//     record <byte-count>            (then exactly that many bytes: the
+//     <canonical item record JSON>    same bytes a batch would emit for
+//                                     this item, then a newline)
+//     done
+//
+//   Control verbs replace "submit": "ping" -> "pong"; "stats" -> one
+//   "stats ..." line; "shutdown" -> "bye", then the server stops
+//   accepting and drains. A malformed request gets "error <message>" and
+//   the connection is closed; the server survives.
+//
+// Scheduling: at most ThreadBudget::corpus submissions run their flow
+// concurrently (a counting gate, FIFO-fair by arrival at the gate); the
+// graph and candidate levels of the budget apply inside each request's
+// pipeline, exactly as in a batch. A request whose deadline fires — or
+// whose client disconnects mid-stream — is cancelled cooperatively and
+// reports the flow's byte-stable "cancelled" diagnostic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/context.hpp"
+#include "flow/rtflow.hpp"
+
+namespace rtcad {
+
+/// Protocol version spoken by this build (the "rtflow-serve N" banner).
+inline constexpr int kServeProtocol = 1;
+
+struct ServeOptions {
+  /// Filesystem path of the Unix-domain listening socket. A stale socket
+  /// file from a dead server is replaced; a live server on the same path
+  /// makes start() throw.
+  std::string socket_path;
+  /// corpus = max concurrent flow runs; graph/candidate apply per request.
+  ThreadBudget budget;
+  /// Result-store directory; empty serves without memoization.
+  std::string cache_dir;
+  /// Hard cap on accepted specification size (a local-socket daemon still
+  /// refuses to buffer absurd submissions).
+  std::size_t max_spec_bytes = std::size_t{16} << 20;
+};
+
+struct ServeStats {
+  long long requests = 0;        ///< submit requests accepted
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long cancelled = 0;       ///< submissions that ended cancelled
+  long long protocol_errors = 0;
+};
+
+class FlowService {
+ public:
+  explicit FlowService(ServeOptions opts);
+  ~FlowService();  ///< stops and joins if still running
+
+  FlowService(const FlowService&) = delete;
+  FlowService& operator=(const FlowService&) = delete;
+
+  /// Bind, listen, and start the acceptor. Throws Error when the socket
+  /// cannot be created (path too long, directory missing, address in
+  /// use by a live server).
+  void start();
+
+  /// Stop accepting, cancel every in-flight request, join all
+  /// connection threads, unlink the socket. Idempotent.
+  void stop();
+
+  /// Block until a client's "shutdown" verb (or stop() from another
+  /// thread). `poll` (optional) runs every ~200 ms — the CLI uses it to
+  /// observe signal flags.
+  void wait(const std::function<bool()>& keep_running = {});
+
+  bool running() const;
+  ServeStats stats() const;
+  const std::string& socket_path() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// --- client half ------------------------------------------------------------
+
+struct SubmitRequest {
+  std::string name;           ///< display name; "" lets the server default
+  std::string spec_text;      ///< .g specification bytes
+  FlowMode mode = FlowMode::kRelativeTiming;
+  std::size_t max_states = 0; ///< 0: server default
+  std::string stop_after;     ///< "": server default (synth)
+  long deadline_ms = -1;      ///< <0: none
+  bool use_cache = true;
+};
+
+struct SubmitResult {
+  bool protocol_ok = false;    ///< the exchange itself completed
+  std::string error;           ///< protocol-level failure (when !protocol_ok)
+  std::string cache_status;    ///< "hit", "miss" or "off"
+  std::string key;             ///< cache key, or "-"
+  std::vector<std::string> stage_lines;  ///< streamed "stage ..." payloads
+  std::string record_json;     ///< canonical item record bytes
+};
+
+/// Submit one specification and collect the streamed response.
+/// `on_line` (optional) observes every response line as it arrives —
+/// before the call returns — which is how the CLI streams progress to a
+/// terminal. Throws Error when the socket cannot be reached; protocol
+/// failures are reported in the result, not thrown.
+SubmitResult serve_submit(
+    const std::string& socket_path, const SubmitRequest& req,
+    const std::function<void(const std::string& line)>& on_line = {});
+
+/// Send a control verb ("ping", "stats", "shutdown"); returns the
+/// response line. Throws Error when the socket cannot be reached.
+std::string serve_control(const std::string& socket_path,
+                          const std::string& verb);
+
+}  // namespace rtcad

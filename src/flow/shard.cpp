@@ -6,7 +6,12 @@
 #include <cstdint>
 #include <cstdlib>
 
+#include <map>
+#include <mutex>
+
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
+#include "util/workpool.hpp"
 
 namespace rtcad {
 namespace {
@@ -342,6 +347,11 @@ std::vector<std::size_t> shard_indices(std::size_t corpus, std::size_t shard,
   return out;
 }
 
+BatchItemResult parse_item_record_json(const std::string& text) {
+  const Json rec = JsonParser(text).parse();
+  return record_of_json(rec, "item record");
+}
+
 ShardRun run_shard(const std::vector<BatchSpec>& corpus, std::size_t shard,
                    std::size_t of, const FlowContext& ctx) {
   const std::vector<std::size_t> indices =
@@ -359,6 +369,104 @@ ShardRun run_shard(const std::vector<BatchSpec>& corpus, std::size_t shard,
   run.items.reserve(indices.size());
   for (std::size_t k = 0; k < indices.size(); ++k)
     run.items.push_back(ShardItem{indices[k], batch.items[k]});
+  return run;
+}
+
+ShardRun run_shard_resume(
+    const std::vector<BatchSpec>& corpus, std::size_t shard, std::size_t of,
+    const ShardRun* partial, const FlowContext& ctx,
+    const std::string& checkpoint_path,
+    const std::function<void(std::size_t computed)>& on_item) {
+  const std::vector<std::size_t> indices =
+      shard_indices(corpus.size(), shard, of);
+
+  ShardRun run;
+  run.shard = shard;
+  run.of = of;
+  run.corpus = corpus.size();
+  run.fingerprint = corpus_fingerprint(corpus);
+
+  // Validate and index the partial file's records. Every mismatch is the
+  // operator resuming against the wrong corpus or the wrong shard; that
+  // must fail loudly before any work is reused or discarded.
+  std::map<std::size_t, const BatchItemResult*> reuse;
+  if (partial) {
+    if (partial->fingerprint != run.fingerprint)
+      throw Error(strprintf(
+          "resume: partial shard file was produced from a different corpus "
+          "or flags (fingerprint %s, expected %s)",
+          partial->fingerprint.c_str(), run.fingerprint.c_str()));
+    if (partial->shard != shard || partial->of != of ||
+        partial->corpus != corpus.size())
+      throw Error(strprintf(
+          "resume: partial file is shard %zu/%zu over %zu items, expected "
+          "%zu/%zu over %zu",
+          partial->shard, partial->of, partial->corpus, shard, of,
+          corpus.size()));
+    for (const ShardItem& s : partial->items) {
+      if (s.index % of != shard || s.index >= corpus.size())
+        throw Error(strprintf(
+            "resume: partial file holds corpus index %zu, which shard "
+            "%zu/%zu does not own",
+            s.index, shard, of));
+      // A "cancelled" record is when the previous run was killed, not a
+      // result of the spec; recompute it.
+      if (!s.item.ok && s.item.diagnostic.kind == "cancelled") continue;
+      reuse[s.index] = &s.item;
+    }
+  }
+
+  // Slots in owned-index order; reused records fill theirs up front.
+  std::vector<BatchItemResult> slots(indices.size());
+  std::vector<std::size_t> missing;  // positions into `indices`/`slots`
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const auto it = reuse.find(indices[k]);
+    if (it != reuse.end())
+      slots[k] = *it->second;
+    else
+      missing.push_back(k);
+  }
+
+  // Assemble the (possibly still incomplete) run from the filled slots,
+  // in increasing index order — the writer's invariant.
+  const auto assemble = [&](ShardRun* out, const std::vector<bool>& have) {
+    out->items.clear();
+    for (std::size_t k = 0; k < indices.size(); ++k)
+      if (have[k]) out->items.push_back(ShardItem{indices[k], slots[k]});
+  };
+
+  std::vector<bool> have(indices.size(), false);
+  for (std::size_t k = 0; k < indices.size(); ++k)
+    have[k] = reuse.count(indices[k]) > 0;
+
+  // Compute the missing items on the corpus-level pool, exactly like
+  // run_batch — plus a checkpoint rewrite after every completion, so a
+  // crash at ANY point leaves a valid partial file behind. The mutex
+  // serializes only the bookkeeping; the flow runs outside it.
+  std::mutex mu;
+  std::size_t computed = 0;
+  const std::size_t requested = static_cast<std::size_t>(
+      WorkPool::effective_threads(ctx.budget.corpus));
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(requested, std::max<std::size_t>(
+                                                       1, missing.size())));
+  WorkPool pool(static_cast<int>(workers));
+  pool.for_each_index(missing.size(), [&](std::size_t m) {
+    const std::size_t k = missing[m];
+    BatchItemResult item = run_batch_item(corpus[indices[k]], ctx);
+    std::lock_guard<std::mutex> lock(mu);
+    slots[k] = std::move(item);
+    have[k] = true;
+    ++computed;
+    if (!checkpoint_path.empty()) {
+      ShardRun snap = run;  // header fields; items assembled below
+      assemble(&snap, have);
+      atomic_write_file(checkpoint_path, to_shard_json(snap));
+    }
+    if (on_item) on_item(computed);
+  });
+
+  assemble(&run, have);
   return run;
 }
 

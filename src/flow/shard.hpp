@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,31 @@ std::vector<std::size_t> shard_indices(std::size_t corpus, std::size_t shard,
 ShardRun run_shard(const std::vector<BatchSpec>& corpus, std::size_t shard,
                    std::size_t of, const FlowContext& ctx = {});
 
+/// Crash-tolerant shard execution (CLI `shard --resume`, and what the
+/// `drive` process driver relies on to make retry cheap):
+///
+///  * `partial` (may be null) is the parse of a previously written —
+///    possibly incomplete — shard file for the SAME shard of the SAME
+///    corpus. Its records are reused verbatim; only owned indices it does
+///    not hold are recomputed. Records with diagnostic kind "cancelled"
+///    are NOT reused (a killed run's cancellations are schedule noise,
+///    not results). A partial from a different corpus/flags (fingerprint),
+///    a different shard/of, or holding a non-owned index throws Error —
+///    resuming someone else's file must fail loudly, not merge garbage.
+///  * When `checkpoint_path` is non-empty, the shard file is rewritten
+///    atomically (temp + rename) after EVERY completed item, so a crashed
+///    process always leaves a valid partial file for the next --resume.
+///  * `on_item` (may be empty) fires after each item completes and is
+///    checkpointed, with the number of newly computed items so far.
+///
+/// The returned run — and therefore its file — is byte-identical to a
+/// fresh `run_shard`, however the work was split across attempts.
+ShardRun run_shard_resume(
+    const std::vector<BatchSpec>& corpus, std::size_t shard, std::size_t of,
+    const ShardRun* partial, const FlowContext& ctx = {},
+    const std::string& checkpoint_path = "",
+    const std::function<void(std::size_t computed)>& on_item = {});
+
 /// Canonical shard-file JSON: stable key order, '\n'-terminated, no
 /// timings — byte-identical across runs and thread counts, like the batch
 /// JSON it embeds.
@@ -73,6 +99,13 @@ std::string to_shard_json(const ShardRun& run);
 /// malformed JSON, a schema version this build does not speak, or missing/
 /// mistyped fields.
 ShardRun parse_shard_json(const std::string& text);
+
+/// Strict parse of ONE item record — the single-line object
+/// `item_record_json` emits. The parse/render pair is a proven byte
+/// round-trip (the shard merge is built on it); the result cache stores
+/// record bytes and decodes them through this. Throws rtcad::Error on
+/// malformed or mistyped input.
+BatchItemResult parse_item_record_json(const std::string& text);
 
 /// Reassemble shard files into the single-process batch result. Validates
 /// the set is complete and consistent — same `of` and corpus size

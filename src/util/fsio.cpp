@@ -1,0 +1,58 @@
+#include "util/fsio.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace rtcad {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "' for reading");
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) throw Error("read error on '" + path + "'");
+  return std::move(text).str();
+}
+
+std::optional<std::string> read_file_if_exists(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  return read_file(path);
+}
+
+void atomic_write_file(const std::string& path, const std::string& bytes) {
+  // Unique per process AND per call, so concurrent writers (cache store,
+  // parallel checkpoints) never collide on the temporary name.
+  static std::atomic<unsigned long long> counter{0};
+  const std::string tmp =
+      path + strprintf(".tmp.%ld.%llu",
+                       static_cast<long>(::getpid()),
+                       counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot open '" + tmp + "' for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw Error("write error on '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw Error("cannot rename '" + tmp + "' to '" + path +
+                "': " + ec.message());
+  }
+}
+
+}  // namespace rtcad

@@ -1,0 +1,27 @@
+// Whole-file IO with loud failures and atomic replacement — the two
+// idioms every durable artifact in the repo needs (cache entries, shard
+// checkpoints, golden files): a read that distinguishes "missing" from
+// "unreadable", and a write that can never leave a truncated file behind.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace rtcad {
+
+/// The file's bytes. Throws rtcad::Error when the file cannot be opened
+/// or read.
+std::string read_file(const std::string& path);
+
+/// The file's bytes, or nullopt when the file does not exist. Any other
+/// failure (permissions, IO error) still throws.
+std::optional<std::string> read_file_if_exists(const std::string& path);
+
+/// Replace `path` with `bytes` atomically: write a uniquely named
+/// temporary in the same directory, fsync-free rename over the target.
+/// Readers observe either the old or the new content, never a prefix —
+/// the property shard checkpoints and cache entries are built on.
+/// Throws rtcad::Error on any failure (the temporary is removed).
+void atomic_write_file(const std::string& path, const std::string& bytes);
+
+}  // namespace rtcad

@@ -1,0 +1,47 @@
+// Self-contained SHA-256 (FIPS 180-4) for content addressing.
+//
+// The result cache (flow/cache.*) keys every flow result by a hash of the
+// specification bytes plus the result-shaping options; a keyed store is
+// only as trustworthy as its hash, so this is a real cryptographic digest,
+// not the FNV fingerprint the shard format uses for operator-error
+// detection. The implementation is dependency-free by the repo's rule
+// (no third-party libraries) and byte-oriented: identical input bytes give
+// identical digests on every platform, which is what makes cache keys
+// portable across machines sharing a store.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rtcad {
+
+/// Incremental SHA-256. Feed bytes with update(), read the digest with
+/// finish(); a finished hasher must not be updated again.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  void update(const std::string& s) { update(s.data(), s.size()); }
+
+  /// The 32-byte digest. May be called once.
+  std::array<std::uint8_t, 32> finish();
+
+  /// Digest as 64 lowercase hex characters.
+  std::string finish_hex();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_ = 0;          ///< message length in bytes
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+};
+
+/// One-shot convenience: hex digest of `bytes`.
+std::string sha256_hex(const std::string& bytes);
+
+}  // namespace rtcad

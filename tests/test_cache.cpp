@@ -1,0 +1,245 @@
+// The content-addressed result cache: key sensitivity (spec bytes, result-
+// shaping options, code-version stamp), hit-vs-fresh byte identity across
+// the built-in corpus, loud rejection of damaged entries, and the
+// cancelled/load-error storage policy.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "flow/flow.hpp"
+#include "stg/builders.hpp"
+#include "stg/parse.hpp"
+
+namespace rtcad {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test store directory under the system temp dir.
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("rtcad_cache_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+BatchSpec celement_item() {
+  FlowOptions si;
+  si.mode = FlowMode::kSpeedIndependent;
+  return BatchSpec{"celement", celement_stg(), si, {}};
+}
+
+TEST(CacheKey, IsDeterministic) {
+  const BatchSpec a = celement_item();
+  const BatchSpec b = celement_item();
+  EXPECT_EQ(cache_key(a), cache_key(b));
+  EXPECT_EQ(cache_key(a).size(), 64u) << "lowercase-hex SHA-256";
+}
+
+TEST(CacheKey, SensitiveToEveryResultShapingInput) {
+  const BatchSpec base = celement_item();
+  const std::string ref = cache_key(base);
+
+  BatchSpec renamed = base;
+  renamed.name = "other";
+  EXPECT_NE(cache_key(renamed), ref) << "name is part of the record";
+
+  // A one-transition spec edit MUST change the key: the spec is keyed by
+  // its canonical bytes, not its display name.
+  BatchSpec edited = base;
+  edited.spec = toggle_stg();
+  EXPECT_NE(cache_key(edited), ref);
+
+  BatchSpec remoded = base;
+  remoded.opts.mode = FlowMode::kRelativeTiming;
+  EXPECT_NE(cache_key(remoded), ref);
+
+  BatchSpec recapped = base;
+  recapped.opts.sg.max_states = 4096;
+  EXPECT_NE(cache_key(recapped), ref);
+
+  BatchSpec restopped = base;
+  restopped.opts.stop_after = "reachability";
+  EXPECT_NE(cache_key(restopped), ref);
+
+  // Bumping the code-version stamp invalidates every existing key.
+  EXPECT_NE(cache_key(base, kCacheCodeVersion + 1), ref);
+}
+
+TEST(CacheKey, InsensitiveToThreadBudgets) {
+  // Results are byte-identical across thread settings, so keys must be too
+  // — otherwise the same answer would be stored N times.
+  const BatchSpec base = celement_item();
+  BatchSpec rethreaded = base;
+  rethreaded.opts.sg.threads = 8;
+  rethreaded.opts.encode.threads = 4;
+  EXPECT_EQ(cache_key(rethreaded), cache_key(base));
+}
+
+TEST_F(CacheTest, HitIsByteIdenticalToFreshRunAcrossTheCorpus) {
+  const std::vector<BatchSpec> corpus = builtin_corpus();
+  const FlowContext ctx;
+  const std::string reference = to_json(run_batch(corpus, ctx));
+
+  const ResultCache cache(dir_);
+  CacheStats first, second;
+  EXPECT_EQ(to_json(run_batch_cached(corpus, ctx, cache, &first)), reference);
+  EXPECT_EQ(first.hits, 0);
+  EXPECT_EQ(first.misses, static_cast<long long>(corpus.size()));
+  EXPECT_EQ(first.stores, static_cast<long long>(corpus.size()));
+
+  // Second pass: 100% hits, still the same bytes.
+  EXPECT_EQ(to_json(run_batch_cached(corpus, ctx, cache, &second)),
+            reference);
+  EXPECT_EQ(second.hits, static_cast<long long>(corpus.size()));
+  EXPECT_EQ(second.misses, 0);
+  EXPECT_EQ(second.stores, 0);
+
+  const ResultCache::DirStats stats = cache.scan();
+  EXPECT_EQ(stats.entries, corpus.size());
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST_F(CacheTest, StoreRoundTripsRecordAndNetlistBytes) {
+  const ResultCache cache(dir_);
+  const BatchSpec spec = celement_item();
+  BatchItemResult item = run_batch_item(spec, {});
+  item.netlist_text = "# a netlist dump\ngate g1\n";
+  const std::string key = cache_key(spec);
+  cache.store(key, item);
+
+  const std::optional<BatchItemResult> back = cache.lookup(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(item_record_json(*back), item_record_json(item));
+  EXPECT_EQ(back->netlist_text, item.netlist_text);
+}
+
+TEST_F(CacheTest, MissReturnsNulloptWithoutCreatingAnything) {
+  const ResultCache cache(dir_);
+  EXPECT_FALSE(cache.lookup(cache_key(celement_item())).has_value());
+  EXPECT_EQ(cache.scan().entries, 0u);
+}
+
+std::string lookup_error(const ResultCache& cache, const std::string& key) {
+  try {
+    cache.lookup(key);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST_F(CacheTest, CorruptEntriesAreRejectedLoudly) {
+  const ResultCache cache(dir_);
+  const BatchSpec spec = celement_item();
+  const std::string key = cache_key(spec);
+  cache.store(key, run_batch_item(spec, {}));
+  const std::string path = cache.entry_path(key);
+
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string good = buf.str();
+  in.close();
+
+  const auto write_entry = [&](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  };
+
+  // Truncation at any point must throw, never parse.
+  for (const std::size_t cut : {good.size() - 1, good.size() / 2,
+                                std::size_t{10}, std::size_t{0}}) {
+    write_entry(good.substr(0, cut));
+    const std::string err = lookup_error(cache, key);
+    EXPECT_FALSE(err.empty()) << "cut=" << cut;
+    EXPECT_NE(err.find(path), std::string::npos)
+        << "the error must name the damaged file";
+  }
+
+  // A flipped payload byte fails the integrity digest.
+  std::string flipped = good;
+  flipped[good.size() / 2] ^= 0x20;
+  write_entry(flipped);
+  EXPECT_NE(lookup_error(cache, key).find("digest"), std::string::npos);
+
+  // Trailing garbage after the end trailer.
+  write_entry(good + "extra");
+  EXPECT_FALSE(lookup_error(cache, key).empty());
+
+  // A foreign schema version.
+  std::string future = good;
+  future.replace(future.find("rtcache 1"), 9, "rtcache 2");
+  write_entry(future);
+  EXPECT_NE(lookup_error(cache, key).find("schema"), std::string::npos);
+
+  // An entry stored under the wrong address (renamed file).
+  write_entry(good);
+  std::string other_key = key;
+  other_key[0] = other_key[0] == 'a' ? 'b' : 'a';
+  fs::create_directories(fs::path(cache.entry_path(other_key)).parent_path());
+  fs::copy_file(path, cache.entry_path(other_key));
+  EXPECT_NE(lookup_error(cache, other_key).find("key"), std::string::npos);
+
+  // The original, undamaged entry still reads back fine.
+  EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+TEST_F(CacheTest, CancelledResultsAreNeverStored) {
+  const std::vector<BatchSpec> corpus = {celement_item()};
+  CancelToken token;
+  token.request_cancel();
+  FlowContext ctx;
+  ctx.cancel = &token;
+
+  const ResultCache cache(dir_);
+  CacheStats stats;
+  const BatchResult result = run_batch_cached(corpus, ctx, cache, &stats);
+  ASSERT_EQ(result.items.size(), 1u);
+  EXPECT_EQ(result.items[0].diagnostic.kind, "cancelled");
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.stores, 0) << "cancellation is schedule noise";
+  EXPECT_EQ(cache.scan().entries, 0u);
+
+  // The un-cancelled rerun is a miss (nothing was memoized) and stores.
+  CacheStats rerun;
+  run_batch_cached(corpus, {}, cache, &rerun);
+  EXPECT_EQ(rerun.misses, 1);
+  EXPECT_EQ(rerun.stores, 1);
+}
+
+TEST_F(CacheTest, LoadErrorItemsBypassTheCache) {
+  BatchSpec bad;
+  bad.name = "missing.g";
+  bad.load_error = BatchDiagnostic{"parse", "cannot open STG file"};
+
+  const ResultCache cache(dir_);
+  CacheStats stats;
+  const BatchResult result = run_batch_cached({bad}, {}, cache, &stats);
+  ASSERT_EQ(result.items.size(), 1u);
+  EXPECT_FALSE(result.items[0].ok);
+  EXPECT_EQ(stats.hits + stats.misses + stats.stores, 0)
+      << "no spec bytes to key";
+  EXPECT_EQ(cache.scan().entries, 0u);
+}
+
+TEST_F(CacheTest, ClearRemovesEveryEntry) {
+  const ResultCache cache(dir_);
+  const BatchSpec spec = celement_item();
+  cache.store(cache_key(spec), run_batch_item(spec, {}));
+  EXPECT_EQ(cache.scan().entries, 1u);
+  EXPECT_EQ(cache.clear(), 1u);
+  EXPECT_EQ(cache.scan().entries, 0u);
+  EXPECT_FALSE(cache.lookup(cache_key(spec)).has_value());
+}
+
+}  // namespace
+}  // namespace rtcad

@@ -1,0 +1,221 @@
+// The serving daemon, driven in-process over a real Unix-domain socket:
+// submit/record byte parity with the batch engine, cache hit/miss
+// behavior, byte-stable cancelled errors for per-request deadlines,
+// control verbs, protocol-error containment, and concurrent submissions.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "stg/builders.hpp"
+#include "stg/parse.hpp"
+
+namespace rtcad {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One live daemon per test, on a short socket path (sun_path is ~108
+/// bytes, so the name stays compact), with a fresh store when asked.
+class ServeTest : public ::testing::Test {
+ protected:
+  void start(bool with_cache) {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    base_ = (fs::temp_directory_path() /
+             (std::string("rtsv_") + std::to_string(::getpid()) + "_" +
+              info->name()))
+                .string();
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+    ServeOptions opts;
+    opts.socket_path = base_ + "/s";
+    if (with_cache) opts.cache_dir = base_ + "/store";
+    opts.budget.corpus = 2;
+    service_ = std::make_unique<FlowService>(std::move(opts));
+    service_->start();
+  }
+  void TearDown() override {
+    if (service_) service_->stop();
+    service_.reset();
+    fs::remove_all(base_);
+  }
+  std::string socket() const { return service_->socket_path(); }
+
+  std::string base_;
+  std::unique_ptr<FlowService> service_;
+};
+
+SubmitRequest celement_request() {
+  SubmitRequest req;
+  req.name = "celement";
+  req.spec_text = write_stg(celement_stg());
+  req.mode = FlowMode::kSpeedIndependent;
+  return req;
+}
+
+/// The record the batch engine would emit for the same submission.
+std::string reference_record(const SubmitRequest& req) {
+  BatchSpec item;
+  item.name = req.name;
+  item.opts.mode = req.mode;
+  if (req.max_states > 0) item.opts.sg.max_states = req.max_states;
+  item.opts.stop_after = req.stop_after;
+  item.spec = parse_stg_string(req.spec_text, req.name);
+  return item_record_json(run_batch_item(item, {}));
+}
+
+TEST_F(ServeTest, SubmitReturnsTheExactBatchRecordBytes) {
+  start(/*with_cache=*/false);
+  const SubmitRequest req = celement_request();
+  const SubmitResult res = serve_submit(socket(), req);
+  ASSERT_TRUE(res.protocol_ok) << res.error;
+  EXPECT_EQ(res.cache_status, "off");
+  EXPECT_EQ(res.record_json, reference_record(req));
+  EXPECT_FALSE(res.stage_lines.empty()) << "progress was streamed";
+}
+
+TEST_F(ServeTest, SecondSubmitIsACacheHitWithIdenticalBytes) {
+  start(/*with_cache=*/true);
+  const SubmitRequest req = celement_request();
+  const SubmitResult miss = serve_submit(socket(), req);
+  ASSERT_TRUE(miss.protocol_ok) << miss.error;
+  EXPECT_EQ(miss.cache_status, "miss");
+  EXPECT_EQ(miss.key.size(), 64u);
+
+  const SubmitResult hit = serve_submit(socket(), req);
+  ASSERT_TRUE(hit.protocol_ok) << hit.error;
+  EXPECT_EQ(hit.cache_status, "hit");
+  EXPECT_EQ(hit.key, miss.key);
+  EXPECT_EQ(hit.record_json, miss.record_json);
+  EXPECT_TRUE(hit.stage_lines.empty()) << "a hit runs no stages";
+
+  const ServeStats stats = service_->stats();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 1);
+}
+
+TEST_F(ServeTest, CacheOffRequestBypassesTheStore) {
+  start(/*with_cache=*/true);
+  SubmitRequest req = celement_request();
+  req.use_cache = false;
+  const SubmitResult a = serve_submit(socket(), req);
+  const SubmitResult b = serve_submit(socket(), req);
+  ASSERT_TRUE(a.protocol_ok && b.protocol_ok);
+  EXPECT_EQ(a.cache_status, "off");
+  EXPECT_EQ(b.cache_status, "off") << "nothing was stored either";
+  EXPECT_EQ(a.record_json, b.record_json);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineIsAByteStableCancelledError) {
+  start(/*with_cache=*/true);
+  SubmitRequest req = celement_request();
+  req.deadline_ms = 0;  // already expired: cancelled at the first check
+
+  const SubmitResult a = serve_submit(socket(), req);
+  ASSERT_TRUE(a.protocol_ok) << a.error;
+  const BatchItemResult item = parse_item_record_json(a.record_json);
+  EXPECT_FALSE(item.ok);
+  EXPECT_EQ(item.diagnostic.kind, "cancelled");
+
+  // Byte-stable: the same expired request cancels at the same point.
+  const SubmitResult b = serve_submit(socket(), req);
+  ASSERT_TRUE(b.protocol_ok) << b.error;
+  EXPECT_EQ(b.record_json, a.record_json);
+  EXPECT_GE(service_->stats().cancelled, 2);
+
+  // Cancelled results are never memoized: the next unconstrained submit
+  // is a miss, and its answer is the real one.
+  SubmitRequest clean = celement_request();
+  const SubmitResult after = serve_submit(socket(), clean);
+  ASSERT_TRUE(after.protocol_ok) << after.error;
+  EXPECT_EQ(after.cache_status, "miss");
+  EXPECT_TRUE(parse_item_record_json(after.record_json).ok);
+}
+
+TEST_F(ServeTest, ParseFailureComesBackAsALoadErrorRecord) {
+  start(/*with_cache=*/true);
+  SubmitRequest req;
+  req.name = "broken";
+  req.spec_text = "this is not a .g file";
+  const SubmitResult res = serve_submit(socket(), req);
+  ASSERT_TRUE(res.protocol_ok) << res.error;
+  EXPECT_EQ(res.key, "-") << "no spec bytes to key";
+  EXPECT_EQ(res.cache_status, "off");
+  const BatchItemResult item = parse_item_record_json(res.record_json);
+  EXPECT_FALSE(item.ok);
+  EXPECT_EQ(item.diagnostic.kind, "parse");
+}
+
+TEST_F(ServeTest, ControlVerbsAndProtocolErrors) {
+  start(/*with_cache=*/false);
+  EXPECT_EQ(serve_control(socket(), "ping"), "pong");
+  EXPECT_NE(serve_control(socket(), "stats").find("stats requests=0"),
+            std::string::npos);
+
+  // A bogus verb gets a contained error; the daemon survives it.
+  EXPECT_NE(serve_control(socket(), "frobnicate").find("error "),
+            std::string::npos);
+  EXPECT_EQ(serve_control(socket(), "ping"), "pong");
+  EXPECT_EQ(service_->stats().protocol_errors, 1);
+  EXPECT_TRUE(service_->running());
+}
+
+TEST_F(ServeTest, ShutdownVerbStopsTheDaemon) {
+  start(/*with_cache=*/false);
+  EXPECT_EQ(serve_control(socket(), "shutdown"), "bye");
+  service_->wait();  // returns because a client asked for shutdown
+  EXPECT_FALSE(service_->running());
+}
+
+TEST_F(ServeTest, ConcurrentSubmissionsAllGetCorrectRecords) {
+  start(/*with_cache=*/true);
+  const SubmitRequest req = celement_request();
+  const std::string expected = reference_record(req);
+
+  constexpr int kClients = 6;  // more clients than the corpus budget (2)
+  std::vector<std::string> records(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      const SubmitResult res = serve_submit(socket(), req);
+      if (res.protocol_ok)
+        records[static_cast<std::size_t>(i)] = res.record_json;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const std::string& record : records) EXPECT_EQ(record, expected);
+  EXPECT_EQ(service_->stats().requests, kClients);
+}
+
+TEST(Serve, StartRefusesALiveSocketAndReplacesAStaleOne) {
+  const std::string base =
+      (fs::temp_directory_path() /
+       (std::string("rtsv_stale_") + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(base);
+  fs::create_directories(base);
+  ServeOptions opts;
+  opts.socket_path = base + "/s";
+
+  FlowService first{ServeOptions{opts}};
+  first.start();
+  // A second daemon on the same live path must refuse.
+  FlowService second{ServeOptions{opts}};
+  EXPECT_THROW(second.start(), Error);
+  first.stop();
+
+  // After a stop (or crash) the socket file is stale; binding succeeds.
+  FlowService third{ServeOptions{opts}};
+  third.start();
+  EXPECT_EQ(serve_control(third.socket_path(), "ping"), "pong");
+  third.stop();
+  fs::remove_all(base);
+}
+
+}  // namespace
+}  // namespace rtcad

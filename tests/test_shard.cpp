@@ -3,6 +3,10 @@
 // merging N shard files is byte-identical to one single-process batch.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "flow/flow.hpp"
 #include "stg/builders.hpp"
 
@@ -52,7 +56,9 @@ TEST(Shard, MoreShardsThanItemsLeavesSomeEmpty) {
   std::vector<ShardRun> shards;
   for (std::size_t i = 0; i < 4; ++i) {
     shards.push_back(run_shard(corpus, i, 4));
-    if (i >= 2) EXPECT_TRUE(shards.back().items.empty());
+    if (i >= 2) {
+      EXPECT_TRUE(shards.back().items.empty());
+    }
   }
   EXPECT_EQ(to_json(merge_shards(shards)), reference);
 }
@@ -228,6 +234,148 @@ TEST(Shard, ParserRejectsFutureSchemaVersions) {
     EXPECT_NE(std::string(e.what()).find("unsupported schema version 2"),
               std::string::npos);
   }
+}
+
+// --- crash-tolerant resume (run_shard_resume) -------------------------------
+
+std::vector<BatchSpec> small_corpus() {
+  FlowOptions si;
+  si.mode = FlowMode::kSpeedIndependent;
+  std::vector<BatchSpec> corpus;
+  corpus.push_back(BatchSpec{"celement", celement_stg(), si, {}});
+  corpus.push_back(BatchSpec{"toggle", toggle_stg(), si, {}});
+  corpus.push_back(BatchSpec{"fifo_si", fifo_si_stg(), si, {}});
+  corpus.push_back(BatchSpec{"call", call_stg(), si, {}});
+  return corpus;
+}
+
+TEST(ShardResume, FreshResumeEqualsRunShard) {
+  const std::vector<BatchSpec> corpus = small_corpus();
+  const ShardRun fresh = run_shard(corpus, 0, 2);
+  std::size_t calls = 0;
+  const ShardRun resumed = run_shard_resume(
+      corpus, 0, 2, nullptr, {}, "", [&](std::size_t) { ++calls; });
+  EXPECT_EQ(to_shard_json(resumed), to_shard_json(fresh));
+  EXPECT_EQ(calls, fresh.items.size());
+}
+
+TEST(ShardResume, RecomputesOnlyTheMissingIndices) {
+  const std::vector<BatchSpec> corpus = small_corpus();
+  const ShardRun fresh = run_shard(corpus, 0, 1);
+  ASSERT_EQ(fresh.items.size(), 4u);
+
+  ShardRun partial = fresh;
+  partial.items.erase(partial.items.begin() + 1);  // lose index 1
+  partial.items.pop_back();                        // and index 3
+
+  std::size_t computed = 0;
+  const ShardRun resumed = run_shard_resume(
+      corpus, 0, 1, &partial, {}, "",
+      [&](std::size_t n) { computed = n; });
+  EXPECT_EQ(computed, 2u) << "only the two dropped items are recomputed";
+  // Byte-identical to a fresh run, however the work was split.
+  EXPECT_EQ(to_shard_json(resumed), to_shard_json(fresh));
+}
+
+TEST(ShardResume, CancelledRecordsAreRecomputedNotReused) {
+  const std::vector<BatchSpec> corpus = small_corpus();
+  const ShardRun fresh = run_shard(corpus, 1, 2);
+  ASSERT_FALSE(fresh.items.empty());
+
+  ShardRun partial = fresh;
+  partial.items[0].item.ok = false;
+  partial.items[0].item.diagnostic =
+      BatchDiagnostic{"cancelled", "cancelled during reachability"};
+
+  std::size_t computed = 0;
+  const ShardRun resumed = run_shard_resume(
+      corpus, 1, 2, &partial, {}, "",
+      [&](std::size_t n) { computed = n; });
+  EXPECT_EQ(computed, 1u) << "the cancelled record is schedule noise";
+  EXPECT_EQ(to_shard_json(resumed), to_shard_json(fresh));
+}
+
+std::string expect_resume_error(const std::vector<BatchSpec>& corpus,
+                                std::size_t shard, std::size_t of,
+                                const ShardRun& partial) {
+  try {
+    run_shard_resume(corpus, shard, of, &partial);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ShardResume, RejectsForeignPartials) {
+  const std::vector<BatchSpec> corpus = small_corpus();
+  const ShardRun good = run_shard(corpus, 0, 2);
+
+  ShardRun wrong_shard = good;
+  wrong_shard.shard = 1;
+  EXPECT_NE(
+      expect_resume_error(corpus, 0, 2, wrong_shard).find("expected"),
+      std::string::npos);
+
+  ShardRun wrong_of = good;
+  wrong_of.of = 3;
+  EXPECT_NE(expect_resume_error(corpus, 0, 2, wrong_of).find("expected"),
+            std::string::npos);
+
+  // Same shape, different flags: only the fingerprint can catch it.
+  std::vector<BatchSpec> capped = corpus;
+  for (auto& item : capped) item.opts.sg.max_states = 4096;
+  EXPECT_NE(
+      expect_resume_error(capped, 0, 2, good).find("fingerprint"),
+      std::string::npos);
+
+  ShardRun stolen = good;
+  ASSERT_FALSE(stolen.items.empty());
+  stolen.items[0].index += 1;  // index owned by shard 1
+  EXPECT_NE(expect_resume_error(corpus, 0, 2, stolen).find("own"),
+            std::string::npos);
+}
+
+TEST(ShardResume, CheckpointIsAValidShardFileAfterEveryItem) {
+  const std::vector<BatchSpec> corpus = small_corpus();
+  const std::string path =
+      std::filesystem::temp_directory_path() /
+      "rtcad_resume_checkpoint_test.json";
+  std::filesystem::remove(path);
+
+  // At every completion the on-disk checkpoint must parse as a shard
+  // file for this shard — that is exactly what a crashed process leaves
+  // for the next --resume.
+  std::size_t seen = 0;
+  const ShardRun run = run_shard_resume(
+      corpus, 0, 1, nullptr, {}, path, [&](std::size_t n) {
+        seen = n;
+        std::ifstream in(path, std::ios::binary);
+        ASSERT_TRUE(in.good());
+        std::ostringstream text;
+        text << in.rdbuf();
+        const ShardRun snap = parse_shard_json(text.str());
+        EXPECT_EQ(snap.shard, 0u);
+        EXPECT_EQ(snap.of, 1u);
+        EXPECT_EQ(snap.items.size(), n);
+      });
+  EXPECT_EQ(seen, corpus.size());
+
+  // The final checkpoint IS the complete shard file.
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_EQ(text.str(), to_shard_json(run));
+  std::filesystem::remove(path);
+}
+
+TEST(ShardResume, ResumingACompletePartialComputesNothing) {
+  const std::vector<BatchSpec> corpus = small_corpus();
+  const ShardRun fresh = run_shard(corpus, 0, 1);
+  std::size_t computed = 0;
+  const ShardRun resumed = run_shard_resume(
+      corpus, 0, 1, &fresh, {}, "", [&](std::size_t n) { computed = n; });
+  EXPECT_EQ(computed, 0u);
+  EXPECT_EQ(to_shard_json(resumed), to_shard_json(fresh));
 }
 
 TEST(Shard, RunShardRespectsTheContext) {

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Dead-link check over the markdown docs: every relative link target in
+# README.md and docs/*.md must exist, and every `file#anchor` link must
+# point at a real heading in that file (GitHub-style slugs). External
+# http(s) links are not fetched. Exit 1 listing every broken link.
+#
+# Usage: check_links.sh [repo-root]
+set -u
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$ROOT" || exit 2
+
+# GitHub heading slug: lowercase, drop everything but [a-z0-9 _-],
+# spaces to hyphens.
+slug() {
+  printf '%s' "$1" | tr '[:upper:]' '[:lower:]' \
+    | sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+anchors_of() { # file -> one slug per heading line
+  sed -n 's/^#\{1,6\} //p' "$1" | while IFS= read -r h; do
+    slug "$h"
+    echo
+  done
+}
+
+broken=0
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Markdown inline links: capture the (...) target of ](...). Fenced
+  # code blocks are stripped first — C++ lambdas like `[](int x)` are
+  # not links.
+  awk '/^```/ { fence = !fence; next } !fence' "$doc" \
+  | grep -o ']([^)]*)' | sed -e 's/^](//' -e 's/)$//' \
+  | while IFS= read -r target; do
+      case "$target" in
+        http://*|https://*|mailto:*) continue ;;
+      esac
+      file="${target%%#*}"
+      anchor=""
+      case "$target" in *'#'*) anchor="${target#*#}" ;; esac
+      if [ -n "$file" ]; then
+        path="$dir/$file"
+      else
+        path="$doc" # pure in-page anchor
+      fi
+      if [ ! -e "$path" ]; then
+        echo "$doc: broken link '$target' (no such file: $path)"
+        continue
+      fi
+      if [ -n "$anchor" ] && [[ "$path" == *.md ]]; then
+        if ! anchors_of "$path" | grep -qx "$anchor"; then
+          echo "$doc: broken anchor '$target' (no heading slug matches '$anchor' in $path)"
+        fi
+      fi
+    done
+done > /tmp/check_links.$$ 2>&1
+
+if [ -s /tmp/check_links.$$ ]; then
+  cat /tmp/check_links.$$ >&2
+  broken=$(wc -l < /tmp/check_links.$$)
+  rm -f /tmp/check_links.$$
+  echo "FAIL: $broken broken link(s)" >&2
+  exit 1
+fi
+rm -f /tmp/check_links.$$
+echo "OK: all relative links and anchors resolve"

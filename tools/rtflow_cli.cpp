@@ -6,6 +6,10 @@
 //   rtflow_cli batch --to verify-netlist --netlist-dir netlists
 //   rtflow_cli shard --shard 1/3 --spec a.g --spec b.g ... --out s1.json
 //   rtflow_cli merge s0.json s1.json s2.json --out merged.json
+//   rtflow_cli drive --shards 3 --work-dir work --corpus builtin --out m.json
+//   rtflow_cli serve --socket /tmp/rtflow.sock --cache ~/.cache/rtflow
+//   rtflow_cli submit --socket /tmp/rtflow.sock --spec fifo.g
+//   rtflow_cli cache stats --cache ~/.cache/rtflow
 //   rtflow_cli list --corpus builtin
 //   rtflow_cli list-stages
 //   rtflow_cli export-specs specs
@@ -15,22 +19,28 @@
 // regression test — and `merge` of N shard files is byte-identical to the
 // single-process `batch` over the same corpus (CI enforces both). The
 // netlist dumps written by --netlist-out/--netlist-dir are canonical under
-// the same contract.
+// the same contract — which is also what makes `--cache` sound: a cache
+// hit returns the exact bytes a fresh run would produce.
 //
-// Exit-code contract (documented in README.md):
+// Exit-code contract (documented in docs/CLI.md):
 //   0  success — every item ran clean
 //   1  runtime failure — an item failed (its JSON diagnostic says why), an
 //      input file is missing/invalid, or output could not be written
 //   2  usage error — unknown command or flag, malformed value, or an
 //      unknown stage name for --to (reported on stderr; nothing is
 //      written)
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +48,8 @@
 #include "flow/flow.hpp"
 #include "stg/builders.hpp"
 #include "stg/parse.hpp"
+#include "util/fsio.hpp"
+#include "util/strings.hpp"
 
 using namespace rtcad;
 
@@ -51,6 +63,10 @@ const char* const kGlobalUsage =
     "  batch         run a corpus of specifications, emit canonical JSON\n"
     "  shard         run shard i of N of a corpus, emit a shard file\n"
     "  merge         reassemble N shard files into the batch JSON\n"
+    "  drive         launch N shard worker processes, retry crashes, merge\n"
+    "  serve         long-running daemon: submissions over a local socket\n"
+    "  submit        send one .g specification to a serve daemon\n"
+    "  cache         inspect the content-addressed result store\n"
     "  list          print the corpus item names\n"
     "  list-stages   print the canonical flow stage names (--to targets)\n"
     "  export-specs  write the built-in builder specs as .g files\n"
@@ -115,6 +131,9 @@ void print_command_usage(std::FILE* to, const char* argv0,
         "  --sg-threads N       graph-level workers (default 1)\n"
         "  --csc-threads N      candidate-level workers (default 1)\n"
         "  --deadline-ms N      cooperative deadline\n"
+        "  --cache DIR          consult/populate the result store at DIR\n"
+        "                       (hits are byte-identical to a fresh run;\n"
+        "                       hit/miss reported on stderr)\n"
         "  --trace              print the structured per-stage trace\n"
         "                       (status, metrics, timing) to stderr\n"
         "  --timings            include wall-clock times in the JSON\n"
@@ -129,6 +148,9 @@ void print_command_usage(std::FILE* to, const char* argv0,
         "Run the corpus on a worker pool and emit canonical JSON (the\n"
         "golden-diffed format; `--timings` adds wall clocks for humans).\n"
         "\n%s\n%s"
+        "  --cache DIR          consult/populate the result store at DIR;\n"
+        "                       output is byte-identical to an uncached\n"
+        "                       batch (stats line on stderr)\n"
         "  --timings            include wall-clock times in the JSON\n"
         "  --out FILE           write JSON to FILE instead of stdout\n"
         "  --netlist-dir DIR    write each ok item's final netlist dump to\n"
@@ -150,8 +172,99 @@ void print_command_usage(std::FILE* to, const char* argv0,
         "N)\n"
         "\n%s\n%s"
         "  --out FILE           write shard JSON to FILE instead of stdout\n"
+        "  --resume             requires --out FILE. Reuse the records a\n"
+        "                       partial FILE already holds (recomputing\n"
+        "                       only missing indices) and checkpoint FILE\n"
+        "                       atomically after EVERY item, so a crashed\n"
+        "                       process leaves a valid partial for the\n"
+        "                       next --resume. A partial from a different\n"
+        "                       corpus, flags or shard id fails loudly\n"
         "  --help               this text\n",
         argv0, kCorpusFlags, kBudgetFlags);
+  } else if (cmd == "drive") {
+    std::fprintf(
+        to,
+        "usage: %s drive --shards N --work-dir DIR [options]\n"
+        "\n"
+        "Multi-process batch: launch N `shard --resume` worker processes\n"
+        "(re-executing this binary), wait for them, retry each crashed\n"
+        "shard exactly once (the retry resumes the crashed worker's\n"
+        "checkpoint file, so completed items are not recomputed), then\n"
+        "merge in-process. The merged JSON is byte-identical to a\n"
+        "single-process `batch` over the same corpus.\n"
+        "\n"
+        "  --shards N           number of worker processes (required)\n"
+        "  --work-dir DIR       where shard_<i>.json checkpoint files go\n"
+        "                       (required; created if missing; pre-existing\n"
+        "                       valid partials are resumed, which is also\n"
+        "                       how YOU recover from a killed drive)\n"
+        "  --out FILE           write merged JSON to FILE instead of stdout\n"
+        "\n"
+        "Every other option (corpus selection, flow options, thread\n"
+        "budget, --deadline-ms) is forwarded verbatim to every worker.\n"
+        "Exit: 0 all items ok; 1 an item failed, a worker crashed twice,\n"
+        "or output could not be written; 2 usage error.\n",
+        argv0);
+  } else if (cmd == "serve") {
+    std::fprintf(
+        to,
+        "usage: %s serve --socket PATH [options]\n"
+        "\n"
+        "Flow-as-a-service: bind a Unix-domain socket, accept submissions\n"
+        "(see `submit`), schedule at most the corpus thread budget\n"
+        "concurrently, stream per-stage progress, honor per-request\n"
+        "deadlines, consult/populate the result store. Runs until a\n"
+        "client's `shutdown` verb or SIGINT/SIGTERM. Protocol spec:\n"
+        "docs/CLI.md.\n"
+        "\n"
+        "  --socket PATH        listening socket path (required). A stale\n"
+        "                       socket file is replaced; a live daemon on\n"
+        "                       PATH is an error\n"
+        "  --cache DIR          serve hits from / store results into DIR\n"
+        "                       (default: no memoization)\n"
+        "  --threads N          max concurrently running submissions\n"
+        "  --sg-threads N       graph-level workers per submission\n"
+        "  --csc-threads N      candidate-level workers per submission\n"
+        "  --help               this text\n",
+        argv0);
+  } else if (cmd == "submit") {
+    std::fprintf(
+        to,
+        "usage: %s submit --socket PATH --spec FILE.g [options]\n"
+        "\n"
+        "Send one specification to a running serve daemon and print the\n"
+        "canonical one-item batch JSON — byte-identical to `run` with the\n"
+        "same spec and flags, whether the daemon answered from its cache\n"
+        "or ran the flow.\n"
+        "\n"
+        "  --socket PATH        the daemon's socket (required)\n"
+        "  --spec FILE.g        the specification file (required)\n"
+        "  --name NAME          item name in the record (default: the\n"
+        "                       --spec path, matching `run`)\n"
+        "  --mode si|rt         synthesis mode (default rt)\n"
+        "  --max-states N       reachability cap (default 2^20)\n"
+        "  --to STAGE           run through STAGE and stop\n"
+        "  --deadline-ms N      per-request deadline, enforced server-side\n"
+        "  --no-cache           ask the daemon to bypass its store\n"
+        "  --trace              print streamed stage progress to stderr\n"
+        "  --out FILE           write JSON to FILE instead of stdout\n"
+        "  --help               this text\n",
+        argv0);
+  } else if (cmd == "cache") {
+    std::fprintf(
+        to,
+        "usage: %s cache stats|clear|key [options]\n"
+        "\n"
+        "Inspect the content-addressed result store.\n"
+        "\n"
+        "  stats --cache DIR    entry count and total bytes\n"
+        "  clear --cache DIR    delete every entry (prints how many)\n"
+        "  key --spec FILE.g [--mode si|rt] [--max-states N] [--to STAGE]\n"
+        "                       print the cache key those flags address —\n"
+        "                       the normative key definition is in\n"
+        "                       docs/CLI.md\n"
+        "  --help               this text\n",
+        argv0);
   } else if (cmd == "merge") {
     std::fprintf(
         to,
@@ -235,6 +348,11 @@ struct CliOptions {
   std::string netlist_dir;   // batch: per-item netlist dump directory
   std::size_t shard = 0, shard_of = 0;  // shard_of == 0: not given
   std::vector<std::string> positional;  // merge's shard files
+  std::string cache_dir;     // run/batch/serve: result store
+  bool resume = false;       // shard: reuse + checkpoint --out
+  std::string socket_path;   // serve/submit
+  std::string submit_name;   // submit: record name override
+  bool no_cache = false;     // submit: bypass the daemon's store
 };
 
 /// One flag of the shared vocabulary; returns true if consumed. `i` is
@@ -370,6 +488,19 @@ bool parse_common_flag(int argc, char** argv, int* i, CliOptions* o,
   } else if (!std::strcmp(arg, "--out")) {
     const char* val = need_value();
     if (val) o->out_path = val;
+  } else if (!std::strcmp(arg, "--cache")) {
+    const char* val = need_value();
+    if (val) o->cache_dir = val;
+  } else if (!std::strcmp(arg, "--resume")) {
+    o->resume = true;
+  } else if (!std::strcmp(arg, "--socket")) {
+    const char* val = need_value();
+    if (val) o->socket_path = val;
+  } else if (!std::strcmp(arg, "--name")) {
+    const char* val = need_value();
+    if (val) o->submit_name = val;
+  } else if (!std::strcmp(arg, "--no-cache")) {
+    o->no_cache = true;
   } else {
     return false;
   }
@@ -521,8 +652,8 @@ int cmd_run(int argc, char** argv) {
   const CliOptions o = parse_or_exit(
       argc, argv, "run",
       {"--spec", "--mode", "--max-states", "--to", "--netlist-out",
-       "--sg-threads", "--csc-threads", "--deadline-ms", "--trace",
-       "--timings", "--out"},
+       "--sg-threads", "--csc-threads", "--deadline-ms", "--cache",
+       "--trace", "--timings", "--out"},
       /*accept_positional=*/false);
   if (o.spec_files.size() != 1) {
     std::fprintf(stderr, "%s run: exactly one --spec FILE.g is required\n",
@@ -548,15 +679,48 @@ int cmd_run(int argc, char** argv) {
   if (corpus[0].load_error) {
     item.diagnostic = *corpus[0].load_error;
   } else {
-    const auto start = std::chrono::steady_clock::now();
-    const PipelineResult run = FlowPipeline::standard(o.file_opts.mode)
-                                   .run(corpus[0].spec, corpus[0].opts,
-                                        cli.ctx);
-    if (o.trace) print_trace(run);
-    item = to_batch_item(corpus[0].name, run);
-    item.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+    // Cache consult/populate (when --cache): a hit IS the canonical
+    // result — same bytes the pipeline below would produce.
+    std::optional<ResultCache> cache;
+    std::string key;
+    bool served_from_cache = false;
+    try {
+      if (!o.cache_dir.empty()) {
+        cache.emplace(o.cache_dir);
+        key = cache_key(corpus[0]);
+        if (std::optional<BatchItemResult> hit = cache->lookup(key)) {
+          std::fprintf(stderr, "cache: hit %s\n", key.c_str());
+          item = std::move(*hit);
+          served_from_cache = true;
+        }
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s run: %s\n", argv[0], e.what());
+      return 1;
+    }
+    if (!served_from_cache) {
+      const auto start = std::chrono::steady_clock::now();
+      const PipelineResult run = FlowPipeline::standard(o.file_opts.mode)
+                                     .run(corpus[0].spec, corpus[0].opts,
+                                          cli.ctx);
+      if (o.trace) print_trace(run);
+      item = to_batch_item(corpus[0].name, run);
+      item.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      if (cache) {
+        std::fprintf(stderr, "cache: miss %s\n", key.c_str());
+        // Cancellation is schedule noise, never a memoizable answer.
+        if (item.ok || item.diagnostic.kind != "cancelled") {
+          try {
+            cache->store(key, item);
+          } catch (const Error& e) {
+            std::fprintf(stderr, "%s run: %s\n", argv[0], e.what());
+            return 1;
+          }
+        }
+      }
+    }
   }
   (item.ok ? result.ok_count : result.failed_count) += 1;
   result.wall_ms = item.wall_ms;
@@ -573,7 +737,7 @@ int cmd_batch(int argc, char** argv) {
       argc, argv, "batch",
       {"--corpus", "--spec", "--pipeline-stages", "--mode", "--max-states",
        "--to", "--netlist-dir", "--threads", "--sg-threads", "--csc-threads",
-       "--deadline-ms", "--timings", "--out"},
+       "--deadline-ms", "--cache", "--timings", "--out"},
       /*accept_positional=*/false);
   if (!o.netlist_dir.empty() && !stop_reaches_map(o.file_opts.stop_after)) {
     std::fprintf(stderr,
@@ -582,7 +746,21 @@ int cmd_batch(int argc, char** argv) {
     return 2;
   }
   CliContext cli(o);
-  const BatchResult result = run_batch(build_corpus(o), cli.ctx);
+  BatchResult result;
+  if (o.cache_dir.empty()) {
+    result = run_batch(build_corpus(o), cli.ctx);
+  } else {
+    try {
+      const ResultCache cache(o.cache_dir);
+      CacheStats cs;
+      result = run_batch_cached(build_corpus(o), cli.ctx, cache, &cs);
+      std::fprintf(stderr, "cache: %lld hits, %lld misses, %lld stored (%s)\n",
+                   cs.hits, cs.misses, cs.stores, cache.dir().c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s batch: %s\n", argv[0], e.what());
+      return 1;
+    }
+  }
   if (!write_output(argv[0], o.out_path, to_json(result, o.timings)))
     return 1;
   if (!o.netlist_dir.empty()) {
@@ -603,25 +781,409 @@ int cmd_batch(int argc, char** argv) {
   return result.failed_count == 0 ? 0 : 1;
 }
 
+/// Test-only crash injection for the `drive` retry machinery:
+/// RTFLOW_TEST_CRASH_AFTER="K:MARKER" makes a resumed shard _Exit(70)
+/// right after its K-th newly computed item is checkpointed — but only
+/// if the per-shard marker file MARKER.shard<id> does not exist yet (it
+/// is created on the way down), so the retried process runs to
+/// completion. Returns an empty hook when the variable is unset.
+std::function<void(std::size_t)> crash_injection_hook(std::size_t shard) {
+  const char* env = std::getenv("RTFLOW_TEST_CRASH_AFTER");
+  if (!env) return {};
+  const std::string val = env;
+  const std::size_t colon = val.find(':');
+  if (colon == std::string::npos || colon == 0) return {};
+  const std::size_t after =
+      static_cast<std::size_t>(std::atoll(val.c_str()));
+  const std::string marker =
+      val.substr(colon + 1) + ".shard" + std::to_string(shard);
+  return [after, marker](std::size_t computed) {
+    if (computed < after) return;
+    std::error_code ec;
+    if (std::filesystem::exists(marker, ec)) return;
+    if (std::FILE* f = std::fopen(marker.c_str(), "w")) std::fclose(f);
+    std::_Exit(70);  // "crash": no unwinding, no final output write
+  };
+}
+
 int cmd_shard(int argc, char** argv) {
   const CliOptions o = parse_or_exit(
       argc, argv, "shard",
       {"--shard", "--corpus", "--spec", "--pipeline-stages", "--mode",
        "--max-states", "--to", "--threads", "--sg-threads", "--csc-threads",
-       "--deadline-ms", "--out"},
+       "--deadline-ms", "--resume", "--out"},
       /*accept_positional=*/false);
   if (o.shard_of == 0) {
     std::fprintf(stderr, "%s shard: --shard I/N is required\n", argv[0]);
     print_command_usage(stderr, argv[0], "shard");
     return 2;
   }
+  if (o.resume && o.out_path.empty()) {
+    std::fprintf(stderr, "%s shard: --resume requires --out FILE\n", argv[0]);
+    return 2;
+  }
   CliContext cli(o);
-  const ShardRun run =
-      run_shard(build_corpus(o), o.shard, o.shard_of, cli.ctx);
+  ShardRun run;
+  try {
+    if (o.resume) {
+      ShardRun prior;
+      const ShardRun* partial = nullptr;
+      if (const std::optional<std::string> text =
+              read_file_if_exists(o.out_path)) {
+        prior = parse_shard_json(*text);
+        partial = &prior;
+      }
+      run = run_shard_resume(build_corpus(o), o.shard, o.shard_of, partial,
+                             cli.ctx, o.out_path,
+                             crash_injection_hook(o.shard));
+    } else {
+      run = run_shard(build_corpus(o), o.shard, o.shard_of, cli.ctx);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s shard: %s\n", argv[0], e.what());
+    return 1;
+  }
   int failed = 0;
   for (const ShardItem& s : run.items) failed += s.item.ok ? 0 : 1;
   if (!write_output(argv[0], o.out_path, to_shard_json(run))) return 1;
   return failed == 0 ? 0 : 1;
+}
+
+/// The process driver: the PR-5 "driver that launches the worker
+/// processes itself" leftover. Workers are this same binary re-executed
+/// as `shard --resume`, so a crashed worker's checkpoint file makes its
+/// one retry cheap: only the items the crash lost are recomputed.
+int cmd_drive(int argc, char** argv) {
+  int shards = 0;
+  std::string work_dir, out_path;
+  std::vector<std::string> passthrough;  // forwarded verbatim to workers
+  // Every forwardable flag takes a value, which keeps this loop honest.
+  static const char* const kForwarded[] = {
+      "--corpus", "--spec",       "--pipeline-stages", "--mode",
+      "--max-states", "--to",     "--threads",         "--sg-threads",
+      "--csc-threads", "--deadline-ms"};
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_command_usage(stdout, argv[0], "drive");
+      return 0;
+    }
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--shards") {
+      const char* val = need_value();
+      if (!val) return 2;
+      shards = std::atoi(val);
+      if (shards < 1) {
+        std::fprintf(stderr, "%s drive: --shards must be >= 1\n", argv[0]);
+        return 2;
+      }
+    } else if (arg == "--work-dir") {
+      const char* val = need_value();
+      if (!val) return 2;
+      work_dir = val;
+    } else if (arg == "--out") {
+      const char* val = need_value();
+      if (!val) return 2;
+      out_path = val;
+    } else if (std::find_if(std::begin(kForwarded), std::end(kForwarded),
+                            [&](const char* f) { return arg == f; }) !=
+               std::end(kForwarded)) {
+      const char* val = need_value();
+      if (!val) return 2;
+      passthrough.push_back(arg);
+      passthrough.push_back(val);
+    } else {
+      std::fprintf(stderr, "%s drive: unknown option '%s'\n", argv[0],
+                   arg.c_str());
+      print_command_usage(stderr, argv[0], "drive");
+      return 2;
+    }
+  }
+  if (shards < 1 || work_dir.empty()) {
+    std::fprintf(stderr, "%s drive: --shards N and --work-dir DIR are required\n",
+                 argv[0]);
+    print_command_usage(stderr, argv[0], "drive");
+    return 2;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(work_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "%s drive: cannot create '%s': %s\n", argv[0],
+                 work_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+
+  struct Worker {
+    pid_t pid = -1;
+    int attempts = 0;
+    std::string out;
+  };
+  std::vector<Worker> workers(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i)
+    workers[static_cast<std::size_t>(i)].out =
+        work_dir + "/shard_" + std::to_string(i) + ".json";
+
+  const auto launch = [&](int i) -> pid_t {
+    Worker& w = workers[static_cast<std::size_t>(i)];
+    std::vector<std::string> args = {argv[0], "shard", "--shard",
+                                     std::to_string(i) + "/" +
+                                         std::to_string(shards)};
+    args.insert(args.end(), passthrough.begin(), passthrough.end());
+    args.push_back("--resume");
+    args.push_back("--out");
+    args.push_back(w.out);
+    std::vector<char*> cargs;
+    cargs.reserve(args.size() + 1);
+    for (std::string& a : args) cargs.push_back(a.data());
+    cargs.push_back(nullptr);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // /proc/self/exe: re-execute THIS binary whatever it was named or
+      // however relative the invoking path was.
+      ::execv("/proc/self/exe", cargs.data());
+      std::_Exit(127);
+    }
+    ++w.attempts;
+    return pid;
+  };
+
+  for (int i = 0; i < shards; ++i) {
+    workers[static_cast<std::size_t>(i)].pid = launch(i);
+    if (workers[static_cast<std::size_t>(i)].pid < 0) {
+      std::fprintf(stderr, "%s drive: fork(): %s\n", argv[0],
+                   std::strerror(errno));
+      return 1;
+    }
+  }
+
+  // Exit-code contract for workers: 0 clean, 1 an ITEM failed (a result,
+  // not a crash — the shard file is complete either way). Anything else —
+  // a signal, _Exit(70), exec failure — is a crash: retry exactly once,
+  // resuming the checkpoint the dead worker left behind.
+  bool gave_up = false;
+  int live = shards;
+  while (live > 0) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "%s drive: waitpid(): %s\n", argv[0],
+                   std::strerror(errno));
+      return 1;
+    }
+    int idx = -1;
+    for (int i = 0; i < shards; ++i)
+      if (workers[static_cast<std::size_t>(i)].pid == pid) idx = i;
+    if (idx < 0) continue;  // not one of ours
+    Worker& w = workers[static_cast<std::size_t>(idx)];
+    const bool exited = WIFEXITED(status);
+    const int code = exited ? WEXITSTATUS(status) : -1;
+    if (exited && (code == 0 || code == 1)) {
+      --live;
+      continue;
+    }
+    std::string how = exited
+                          ? strprintf("exited with code %d", code)
+                          : strprintf("killed by signal %d", WTERMSIG(status));
+    if (w.attempts >= 2) {
+      std::fprintf(stderr, "%s drive: shard %d/%d crashed again (%s); giving up\n",
+                   argv[0], idx, shards, how.c_str());
+      gave_up = true;
+      --live;
+      continue;
+    }
+    std::fprintf(stderr,
+                 "%s drive: shard %d/%d crashed (%s); retrying once, "
+                 "resuming '%s'\n",
+                 argv[0], idx, shards, how.c_str(), w.out.c_str());
+    w.pid = launch(idx);
+    if (w.pid < 0) {
+      std::fprintf(stderr, "%s drive: fork(): %s\n", argv[0],
+                   std::strerror(errno));
+      return 1;
+    }
+  }
+  if (gave_up) return 1;
+
+  std::vector<ShardRun> runs;
+  BatchResult result;
+  try {
+    for (const Worker& w : workers) runs.push_back(parse_shard_json(
+        read_file(w.out)));
+    result = merge_shards(runs);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s drive: %s\n", argv[0], e.what());
+    return 1;
+  }
+  if (!write_output(argv[0], out_path, to_json(result))) return 1;
+  return result.failed_count == 0 ? 0 : 1;
+}
+
+// --- serve / submit / cache -------------------------------------------------
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+void on_stop_signal(int) { g_stop_signal = 1; }
+
+int cmd_serve(int argc, char** argv) {
+  const CliOptions o = parse_or_exit(
+      argc, argv, "serve",
+      {"--socket", "--cache", "--threads", "--sg-threads", "--csc-threads"},
+      /*accept_positional=*/false);
+  if (o.socket_path.empty()) {
+    std::fprintf(stderr, "%s serve: --socket PATH is required\n", argv[0]);
+    print_command_usage(stderr, argv[0], "serve");
+    return 2;
+  }
+  ServeOptions so;
+  so.socket_path = o.socket_path;
+  so.budget = o.budget;
+  so.cache_dir = o.cache_dir;
+  FlowService service(std::move(so));
+  try {
+    service.start();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s serve: %s\n", argv[0], e.what());
+    return 1;
+  }
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  std::fprintf(stderr, "serving on %s%s%s\n", o.socket_path.c_str(),
+               o.cache_dir.empty() ? " (no cache)" : ", cache at ",
+               o.cache_dir.c_str());
+  service.wait([] { return g_stop_signal == 0; });
+  const ServeStats st = service.stats();
+  std::fprintf(stderr,
+               "served %lld requests (%lld hits, %lld misses, "
+               "%lld cancelled, %lld protocol errors)\n",
+               st.requests, st.cache_hits, st.cache_misses, st.cancelled,
+               st.protocol_errors);
+  return 0;
+}
+
+int cmd_submit(int argc, char** argv) {
+  const CliOptions o = parse_or_exit(
+      argc, argv, "submit",
+      {"--socket", "--spec", "--name", "--mode", "--max-states", "--to",
+       "--deadline-ms", "--no-cache", "--trace", "--out"},
+      /*accept_positional=*/false);
+  if (o.socket_path.empty() || o.spec_files.size() != 1) {
+    std::fprintf(stderr,
+                 "%s submit: --socket PATH and exactly one --spec FILE.g "
+                 "are required\n",
+                 argv[0]);
+    print_command_usage(stderr, argv[0], "submit");
+    return 2;
+  }
+  SubmitRequest req;
+  req.name = o.submit_name.empty() ? o.spec_files[0] : o.submit_name;
+  {
+    std::ifstream in(o.spec_files[0], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s submit: cannot read '%s'\n", argv[0],
+                   o.spec_files[0].c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    req.spec_text = text.str();
+  }
+  req.mode = o.file_opts.mode;
+  req.max_states = o.file_opts.sg.max_states;
+  req.stop_after = o.file_opts.stop_after;
+  req.deadline_ms = o.deadline_ms;
+  req.use_cache = !o.no_cache;
+
+  SubmitResult res;
+  try {
+    res = serve_submit(o.socket_path, req, [&](const std::string& line) {
+      if (o.trace && (starts_with(line, "stage ") ||
+                      starts_with(line, "cache ")))
+        std::fprintf(stderr, "%s\n", line.c_str());
+    });
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s submit: %s\n", argv[0], e.what());
+    return 1;
+  }
+  if (!res.protocol_ok) {
+    std::fprintf(stderr, "%s submit: %s\n", argv[0], res.error.c_str());
+    return 1;
+  }
+  // Re-wrap the streamed record into the one-item batch envelope: the
+  // output is byte-identical to `run` with the same spec and flags.
+  BatchResult result;
+  result.items.resize(1);
+  try {
+    result.items[0] = parse_item_record_json(res.record_json);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s submit: malformed record from server: %s\n",
+                 argv[0], e.what());
+    return 1;
+  }
+  (result.items[0].ok ? result.ok_count : result.failed_count) += 1;
+  if (!write_output(argv[0], o.out_path, to_json(result))) return 1;
+  return result.failed_count == 0 ? 0 : 1;
+}
+
+int cmd_cache(int argc, char** argv) {
+  const CliOptions o = parse_or_exit(
+      argc, argv, "cache",
+      {"--cache", "--spec", "--mode", "--max-states", "--to"},
+      /*accept_positional=*/true);
+  if (o.positional.size() != 1) {
+    std::fprintf(stderr, "%s cache: one of stats|clear|key is required\n",
+                 argv[0]);
+    print_command_usage(stderr, argv[0], "cache");
+    return 2;
+  }
+  const std::string& verb = o.positional[0];
+  try {
+    if (verb == "stats" || verb == "clear") {
+      if (o.cache_dir.empty()) {
+        std::fprintf(stderr, "%s cache %s: --cache DIR is required\n",
+                     argv[0], verb.c_str());
+        return 2;
+      }
+      const ResultCache cache(o.cache_dir);
+      if (verb == "stats") {
+        const ResultCache::DirStats st = cache.scan();
+        std::printf("%zu entries, %ju bytes\n", st.entries,
+                    static_cast<std::uintmax_t>(st.bytes));
+      } else {
+        std::printf("%zu entries removed\n", cache.clear());
+      }
+      return 0;
+    }
+    if (verb == "key") {
+      if (o.spec_files.size() != 1) {
+        std::fprintf(stderr,
+                     "%s cache key: exactly one --spec FILE.g is required\n",
+                     argv[0]);
+        return 2;
+      }
+      const std::vector<BatchSpec> corpus =
+          load_corpus_files(o.spec_files, o.file_opts);
+      if (corpus[0].load_error) {
+        std::fprintf(stderr, "%s cache key: %s\n", argv[0],
+                     corpus[0].load_error->message.c_str());
+        return 1;
+      }
+      std::printf("%s\n", cache_key(corpus[0]).c_str());
+      return 0;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s cache: %s\n", argv[0], e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "%s cache: unknown subcommand '%s'\n", argv[0],
+               verb.c_str());
+  print_command_usage(stderr, argv[0], "cache");
+  return 2;
 }
 
 int cmd_merge(int argc, char** argv) {
@@ -728,6 +1290,10 @@ int main(int argc, char** argv) {
   if (cmd == "batch") return cmd_batch(argc, argv);
   if (cmd == "shard") return cmd_shard(argc, argv);
   if (cmd == "merge") return cmd_merge(argc, argv);
+  if (cmd == "drive") return cmd_drive(argc, argv);
+  if (cmd == "serve") return cmd_serve(argc, argv);
+  if (cmd == "submit") return cmd_submit(argc, argv);
+  if (cmd == "cache") return cmd_cache(argc, argv);
   if (cmd == "list") return cmd_list(argc, argv);
   if (cmd == "list-stages") return cmd_list_stages(argc, argv);
   if (cmd == "export-specs") return cmd_export_specs(argc, argv);
