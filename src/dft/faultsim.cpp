@@ -12,33 +12,63 @@ std::vector<Fault> enumerate_faults(const Netlist& netlist) {
   return faults;
 }
 
+const char* to_string(FaultCause cause) {
+  switch (cause) {
+    case FaultCause::kNone: return "undetected";
+    case FaultCause::kViolation: return "violation";
+    case FaultCause::kDeadlock: return "deadlock";
+    case FaultCause::kSlow: return "slow";
+  }
+  return "?";
+}
+
+GoldenRun golden_protocol_run(const Netlist& netlist, const Stg& spec,
+                              const FaultSimOptions& opts) {
+  Simulator sim(netlist);
+  StgEnvironment env(spec, sim, opts.env);
+  env.start();
+  sim.run(opts.sim_time_ps);
+  GoldenRun golden;
+  golden.cycles = env.cycles();
+  golden.conforms = env.conforms();
+  golden.deadlocked = env.deadlocked();
+  return golden;
+}
+
+FaultOutcome simulate_fault(const Netlist& netlist, const Stg& spec,
+                            const Fault& fault, const GoldenRun& golden,
+                            const FaultSimOptions& opts) {
+  Simulator sim(netlist);
+  sim.force_stuck(fault.net, fault.stuck_value);
+  StgEnvironment env(spec, sim, opts.env);
+  env.start();
+  sim.run(opts.sim_time_ps);
+
+  FaultOutcome out;
+  out.cycles = env.cycles();
+  // Comparative detection: an observation only counts when the golden run
+  // did not produce the same one.
+  if (golden.conforms && !env.conforms())
+    out.cause = FaultCause::kViolation;
+  else if (!golden.deadlocked && env.deadlocked())
+    out.cause = FaultCause::kDeadlock;
+  else if (100LL * out.cycles < static_cast<long long>(
+                                    opts.cycle_fraction_x100) *
+                                    golden.cycles)
+    out.cause = FaultCause::kSlow;
+  out.detected = out.cause != FaultCause::kNone;
+  return out;
+}
+
 FaultSimResult fault_simulate(const Netlist& netlist, const Stg& spec,
                               const FaultSimOptions& opts) {
-  // Golden run.
-  long golden_cycles = 0;
-  {
-    Simulator sim(netlist);
-    StgEnvironment env(spec, sim, opts.env);
-    env.start();
-    sim.run(opts.sim_time_ps);
-    golden_cycles = env.cycles();
-  }
-  RTCAD_EXPECTS(golden_cycles > 0);  // the fault-free circuit must work
+  const GoldenRun golden = golden_protocol_run(netlist, spec, opts);
+  RTCAD_EXPECTS(golden.cycles > 0);  // the fault-free circuit must work
 
   FaultSimResult result;
   for (const Fault& f : enumerate_faults(netlist)) {
     ++result.total;
-    Simulator sim(netlist);
-    sim.force_stuck(f.net, f.stuck_value);
-    StgEnvironment env(spec, sim, opts.env);
-    env.start();
-    sim.run(opts.sim_time_ps);
-    const bool detected =
-        !env.conforms() || env.deadlocked() ||
-        env.cycles() <
-            static_cast<long>(opts.cycle_fraction *
-                              static_cast<double>(golden_cycles));
-    if (detected)
+    if (simulate_fault(netlist, spec, f, golden, opts).detected)
       ++result.detected;
     else
       result.undetected.push_back(f);

@@ -26,22 +26,70 @@ struct Fault {
 struct FaultSimOptions {
   double sim_time_ps = 60000.0;
   StgEnvOptions env;
-  /// Detected if the faulty run achieves fewer than this fraction of the
-  /// golden run's cycles (throughput watchdog).
-  double cycle_fraction = 0.5;
+  /// Throughput watchdog cutoff, in hundredths: a fault is detected when
+  /// 100 * faulty_cycles < cycle_fraction_x100 * golden_cycles. Composed
+  /// from integers (like SizeReport::width_x100) so detection — and every
+  /// report built on it — is locale- and FP-rounding-stable. 0 disables
+  /// the watchdog; 50 = the classic "less than half the golden rate".
+  int cycle_fraction_x100 = 50;
+};
+
+/// Why a single fault was detected. kNone means it was not: the fault is
+/// an undetectable redundancy under this protocol exercise.
+enum class FaultCause { kNone, kViolation, kDeadlock, kSlow };
+
+/// Stable lowercase name for report serialization ("undetected",
+/// "violation", "deadlock", "slow").
+const char* to_string(FaultCause cause);
+
+struct FaultOutcome {
+  bool detected = false;
+  FaultCause cause = FaultCause::kNone;
+  long cycles = 0;  ///< protocol cycles the faulty run achieved
 };
 
 struct FaultSimResult {
   int total = 0;
   int detected = 0;
   std::vector<Fault> undetected;
-  double coverage() const {
-    return total == 0 ? 1.0 : static_cast<double>(detected) / total;
+  /// Coverage in truncated hundredths (100 = fully testable). An empty
+  /// fault list is vacuously covered. Integer-composed: safe to print
+  /// into golden-diffed artifacts.
+  int coverage_x100() const {
+    return total == 0 ? 100
+                      : static_cast<int>((100LL * detected) / total);
   }
+  /// Convenience double view of coverage_x100() for human-facing code;
+  /// canonical reports must use the integer form.
+  double coverage() const { return coverage_x100() / 100.0; }
 };
 
-/// Full single-stuck-at fault list: every net stuck at 0 and at 1.
+/// Full single-stuck-at fault list: every net stuck at 0 and at 1, in
+/// net-id order (stuck-at-0 before stuck-at-1). Sweep variant enumeration
+/// and fault_simulate both rely on this order being deterministic.
 std::vector<Fault> enumerate_faults(const Netlist& netlist);
+
+/// The fault-free baseline a faulty run is compared against. Detection is
+/// COMPARATIVE: a violation or deadlock only discriminates a fault if the
+/// golden run did not also produce one (choice-heavy specs the scripted
+/// environment cannot drive cleanly fall back to the throughput watchdog
+/// alone — reporting 100% coverage there would be a lie).
+struct GoldenRun {
+  long cycles = 0;
+  bool conforms = false;
+  bool deadlocked = false;
+  bool ok() const { return cycles > 0 && conforms && !deadlocked; }
+};
+
+/// Run the fault-free protocol exercise.
+GoldenRun golden_protocol_run(const Netlist& netlist, const Stg& spec,
+                              const FaultSimOptions& opts = {});
+
+/// Simulate ONE fault against the golden baseline. This is the kernel
+/// fault_simulate aggregates and the sweep runner fans out over.
+FaultOutcome simulate_fault(const Netlist& netlist, const Stg& spec,
+                            const Fault& fault, const GoldenRun& golden,
+                            const FaultSimOptions& opts = {});
 
 /// Protocol-driven fault simulation against the STG specification.
 FaultSimResult fault_simulate(const Netlist& netlist, const Stg& spec,

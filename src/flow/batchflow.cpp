@@ -5,6 +5,7 @@
 #include <cmath>
 #include <filesystem>
 
+#include "flow/json.hpp"
 #include "flow/pipeline.hpp"
 #include "stg/builders.hpp"
 #include "stg/parse.hpp"
@@ -160,25 +161,6 @@ std::string json_number(double ms) {
   long long micros = std::llround(ms * 1000.0);
   if (micros < 0) micros = 0;
   return strprintf("%lld.%03lld", micros / 1000, micros % 1000);
-}
-
-void append_json_string(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      case '\r': *out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20)
-          *out += strprintf("\\u%04x", c);
-        else
-          out->push_back(c);
-    }
-  }
-  out->push_back('"');
 }
 
 }  // namespace

@@ -15,3 +15,4 @@
 #include "flow/rtflow.hpp"      // IWYU pragma: export
 #include "flow/service.hpp"     // IWYU pragma: export
 #include "flow/shard.hpp"       // IWYU pragma: export
+#include "flow/sweep.hpp"       // IWYU pragma: export

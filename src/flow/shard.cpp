@@ -1,14 +1,12 @@
 #include "flow/shard.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cmath>
 #include <cstdint>
-#include <cstdlib>
 
 #include <map>
 #include <mutex>
 
+#include "flow/json.hpp"
 #include "util/fsio.hpp"
 #include "util/strings.hpp"
 #include "util/workpool.hpp"
@@ -16,298 +14,44 @@
 namespace rtcad {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal strict JSON reader. The repo takes no third-party dependencies,
-// and the only JSON this tool ever reads is the shard format its own
-// writer produced — so this is a small recursive-descent parser over the
-// full JSON grammar, strict about structure and loud about positions.
-// ---------------------------------------------------------------------------
+// The shard format is read through the shared strict JSON layer
+// (flow/json.*); the label below keeps every parse/field error prefixed
+// "shard JSON" exactly as before the extraction.
+const char* const kShardLabel = "shard JSON";
 
-struct Json {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<Json> arr;
-  std::vector<std::pair<std::string, Json>> obj;  // insertion order
-
-  const Json* find(const std::string& key) const {
-    for (const auto& [k, v] : obj)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  Json parse() {
-    Json v = value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing data after JSON value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw Error(strprintf("shard JSON, offset %zu: ", pos_) + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r'))
-      ++pos_;
-  }
-
-  char peek() {
-    if (pos_ >= s_.size()) fail("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(strprintf("expected '%c'", c));
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    const std::size_t n = std::char_traits<char>::length(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  Json value() {
-    skip_ws();
-    const char c = peek();
-    switch (c) {
-      case '{': return object();
-      case '[': return array();
-      case '"': {
-        Json v;
-        v.kind = Json::Kind::kString;
-        v.str = string();
-        return v;
-      }
-      case 't':
-        if (!consume_literal("true")) fail("bad literal");
-        return boolean(true);
-      case 'f':
-        if (!consume_literal("false")) fail("bad literal");
-        return boolean(false);
-      case 'n':
-        if (!consume_literal("null")) fail("bad literal");
-        return Json{};
-      default: return number();
-    }
-  }
-
-  static Json boolean(bool b) {
-    Json v;
-    v.kind = Json::Kind::kBool;
-    v.boolean = b;
-    return v;
-  }
-
-  Json object() {
-    expect('{');
-    Json v;
-    v.kind = Json::Kind::kObject;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      Json val = value();
-      for (const auto& [k, ignored] : v.obj)
-        if (k == key) fail("duplicate key \"" + key + "\"");
-      v.obj.emplace_back(std::move(key), std::move(val));
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  Json array() {
-    expect('[');
-    Json v;
-    v.kind = Json::Kind::kArray;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.arr.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= s_.size()) fail("unterminated string");
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20)
-        fail("raw control character in string");
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= s_.size()) fail("unterminated escape");
-      const char e = s_[pos_++];
-      switch (e) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape digit");
-          }
-          // The shard writer only \u-escapes control bytes; anything wider
-          // would not round-trip through our byte-oriented strings.
-          if (code > 0xff) fail("unsupported \\u escape above 0x00ff");
-          out.push_back(static_cast<char>(code));
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  Json number() {
-    const std::size_t start = pos_;
-    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-'))
-      ++pos_;
-    if (pos_ == start) fail("expected a JSON value");
-    const std::string tok = s_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double d = std::strtod(tok.c_str(), &end);
-    if (end != tok.c_str() + tok.size()) fail("malformed number");
-    Json v;
-    v.kind = Json::Kind::kNumber;
-    v.number = d;
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-// --- typed field accessors --------------------------------------------------
-
-[[noreturn]] void field_fail(const std::string& where,
-                             const std::string& what) {
-  throw Error("shard JSON: " + where + ": " + what);
-}
-
-const Json& require(const Json& obj, const char* key,
-                    const std::string& where) {
-  if (obj.kind != Json::Kind::kObject)
-    field_fail(where, "expected an object");
-  const Json* v = obj.find(key);
-  if (!v) field_fail(where, std::string("missing field \"") + key + "\"");
-  return *v;
-}
-
-long long require_int(const Json& obj, const char* key,
-                      const std::string& where) {
-  const Json& v = require(obj, key, where);
-  if (v.kind != Json::Kind::kNumber ||
-      v.number != std::floor(v.number) || std::abs(v.number) > 1e15)
-    field_fail(where, std::string("field \"") + key +
-                          "\" must be an integer");
-  return static_cast<long long>(v.number);
-}
-
-std::size_t require_uint(const Json& obj, const char* key,
-                         const std::string& where) {
-  const long long n = require_int(obj, key, where);
-  if (n < 0)
-    field_fail(where,
-               std::string("field \"") + key + "\" must be non-negative");
-  return static_cast<std::size_t>(n);
-}
-
-std::string require_string(const Json& obj, const char* key,
-                           const std::string& where) {
-  const Json& v = require(obj, key, where);
-  if (v.kind != Json::Kind::kString)
-    field_fail(where, std::string("field \"") + key + "\" must be a string");
-  return v.str;
-}
-
-bool require_bool(const Json& obj, const char* key, const std::string& where) {
-  const Json& v = require(obj, key, where);
-  if (v.kind != Json::Kind::kBool)
-    field_fail(where, std::string("field \"") + key + "\" must be a bool");
-  return v.boolean;
+std::string shard_where(const std::string& where) {
+  return std::string(kShardLabel) + ": " + where;
 }
 
 /// Decode one item record — the exact object item_record_json renders.
-BatchItemResult record_of_json(const Json& rec, const std::string& where) {
+/// `where` arrives WITHOUT the label prefix; errors carry it.
+BatchItemResult record_of_json(const Json& rec, const std::string& bare) {
+  const std::string where = shard_where(bare);
   BatchItemResult item;
-  item.name = require_string(rec, "name", where);
-  item.ok = require_bool(rec, "ok", where);
+  item.name = json_require_string(rec, "name", where);
+  item.ok = json_require_bool(rec, "ok", where);
   if (item.ok) {
-    item.states = static_cast<int>(require_int(rec, "states", where));
+    item.states = static_cast<int>(json_require_int(rec, "states", where));
     item.states_reduced =
-        static_cast<int>(require_int(rec, "states_reduced", where));
+        static_cast<int>(json_require_int(rec, "states_reduced", where));
     item.state_signals_added =
-        static_cast<int>(require_int(rec, "state_signals", where));
-    item.literals = static_cast<int>(require_int(rec, "literals", where));
+        static_cast<int>(json_require_int(rec, "state_signals", where));
+    item.literals = static_cast<int>(json_require_int(rec, "literals", where));
     item.transistors =
-        static_cast<int>(require_int(rec, "transistors", where));
-    item.constraints = require_uint(rec, "constraints", where);
-    const Json& stages = require(rec, "stages", where);
+        static_cast<int>(json_require_int(rec, "transistors", where));
+    item.constraints = json_require_uint(rec, "constraints", where);
+    const Json& stages = json_require(rec, "stages", where);
     if (stages.kind != Json::Kind::kArray)
-      field_fail(where, "field \"stages\" must be an array");
+      throw Error(where + ": field \"stages\" must be an array");
     for (const Json& stage : stages.arr) {
       item.stages.push_back(
-          FlowStage{require_string(stage, "name", where),
-                    require_string(stage, "detail", where)});
+          FlowStage{json_require_string(stage, "name", where),
+                    json_require_string(stage, "detail", where)});
     }
   } else {
-    const Json& diag = require(rec, "diagnostic", where);
-    item.diagnostic.kind = require_string(diag, "kind", where);
-    item.diagnostic.message = require_string(diag, "message", where);
+    const Json& diag = json_require(rec, "diagnostic", where);
+    item.diagnostic.kind = json_require_string(diag, "kind", where);
+    item.diagnostic.message = json_require_string(diag, "message", where);
   }
   return item;
 }
@@ -348,7 +92,7 @@ std::vector<std::size_t> shard_indices(std::size_t corpus, std::size_t shard,
 }
 
 BatchItemResult parse_item_record_json(const std::string& text) {
-  const Json rec = JsonParser(text).parse();
+  const Json rec = parse_json(text, kShardLabel);
   return record_of_json(rec, "item record");
 }
 
@@ -493,36 +237,37 @@ std::string to_shard_json(const ShardRun& run) {
 }
 
 ShardRun parse_shard_json(const std::string& text) {
-  const Json root = JsonParser(text).parse();
-  const std::string where = "shard file";
-  const long long schema = require_int(root, "schema", where);
+  const Json root = parse_json(text, kShardLabel);
+  const std::string where = shard_where("shard file");
+  const long long schema = json_require_int(root, "schema", where);
   if (schema != kShardSchema)
     throw Error(strprintf(
         "shard JSON: unsupported schema version %lld (this build speaks %d)",
         schema, kShardSchema));
-  if (require_string(root, "kind", where) != "shard")
+  if (json_require_string(root, "kind", where) != "shard")
     throw Error("shard JSON: \"kind\" must be \"shard\"");
 
   ShardRun run;
-  run.shard = require_uint(root, "shard", where);
-  run.of = require_uint(root, "of", where);
-  run.corpus = require_uint(root, "corpus", where);
-  run.fingerprint = require_string(root, "fingerprint", where);
+  run.shard = json_require_uint(root, "shard", where);
+  run.of = json_require_uint(root, "of", where);
+  run.corpus = json_require_uint(root, "corpus", where);
+  run.fingerprint = json_require_string(root, "fingerprint", where);
   if (run.of < 1) throw Error("shard JSON: \"of\" must be >= 1");
   if (run.shard >= run.of)
     throw Error(strprintf("shard JSON: shard id %zu out of range (of %zu)",
                           run.shard, run.of));
 
-  const Json& items = require(root, "items", where);
+  const Json& items = json_require(root, "items", where);
   if (items.kind != Json::Kind::kArray)
     throw Error("shard JSON: \"items\" must be an array");
   for (std::size_t i = 0; i < items.arr.size(); ++i) {
-    const std::string item_where = strprintf("items[%zu]", i);
+    const std::string bare = strprintf("items[%zu]", i);
+    const std::string item_where = shard_where(bare);
     const Json& entry = items.arr[i];
     ShardItem si;
-    si.index = require_uint(entry, "index", item_where);
-    si.item = record_of_json(require(entry, "record", item_where),
-                             item_where + ".record");
+    si.index = json_require_uint(entry, "index", item_where);
+    si.item = record_of_json(json_require(entry, "record", item_where),
+                             bare + ".record");
     run.items.push_back(std::move(si));
   }
   return run;

@@ -59,6 +59,11 @@ bool StgEnvironment::fire_edge(const Edge& e) {
 }
 
 void StgEnvironment::fire_silent_closure() {
+  // A live cycle of internal transitions would close forever (a divergent
+  // spec, e.g. a free-running internal ring): bound the closure and report
+  // the divergence as a conformance violation instead of hanging. Real
+  // specs quiesce within a handful of firings.
+  long budget = 64L * spec_.num_transitions() + 64;
   bool progress = true;
   while (progress) {
     progress = false;
@@ -68,6 +73,16 @@ void StgEnvironment::fire_silent_closure() {
           !label ||
           spec_.signal(label->signal).kind == SignalKind::kInternal;
       if (unobservable) {
+        if (--budget < 0) {
+          if (!diverged_) {
+            diverged_ = true;
+            violations_.push_back(ConformanceViolation{
+                sim_->now(),
+                "silent (internal) spec transitions never quiesce — "
+                "divergent internal cycle"});
+          }
+          return;
+        }
         marking_ = spec_.fire(marking_, t);
         progress = true;
         break;

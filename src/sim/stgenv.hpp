@@ -68,6 +68,7 @@ class StgEnvironment {
   std::vector<int> signal_net_;      ///< spec signal -> net id (-1 untracked)
   std::vector<bool> input_pending_;  ///< per signal: change already scheduled
   int cycle_signal_ = -1;
+  bool diverged_ = false;  ///< silent-closure budget exhausted (once)
   std::vector<double> cycle_times_;
   std::vector<ConformanceViolation> violations_;
 };

@@ -16,6 +16,40 @@ TEST(FaultSim, EnumeratesTwoFaultsPerNet) {
   EXPECT_EQ(enumerate_faults(nl).size(), 4u);
 }
 
+TEST(FaultSim, EnumerationCoversEveryNetBothPolaritiesInOrder) {
+  // The sweep variant list and the shard convention both key off this
+  // order: net-id ascending, stuck-at-0 before stuck-at-1, no gaps and no
+  // duplicates.
+  Netlist nl("order");
+  const int a = nl.add_primary_input("a");
+  const int b = nl.add_primary_input("b");
+  const int x = nl.add_net("x");
+  const int y = nl.add_net("y");
+  nl.add_gate("NAND2", {a, b}, x);
+  nl.add_gate("INV", {x}, y);
+  const std::vector<Fault> faults = enumerate_faults(nl);
+  ASSERT_EQ(faults.size(), static_cast<std::size_t>(2 * nl.num_nets()));
+  for (int n = 0; n < nl.num_nets(); ++n) {
+    EXPECT_EQ(faults[2 * n].net, n);
+    EXPECT_FALSE(faults[2 * n].stuck_value);
+    EXPECT_EQ(faults[2 * n + 1].net, n);
+    EXPECT_TRUE(faults[2 * n + 1].stuck_value);
+  }
+}
+
+TEST(FaultSim, CoverageOfEmptyFaultListIsVacuouslyFull) {
+  FaultSimResult r;
+  EXPECT_EQ(r.coverage_x100(), 100);
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+}
+
+TEST(FaultSim, CoverageTruncatesToHundredths) {
+  FaultSimResult r;
+  r.total = 3;
+  r.detected = 2;
+  EXPECT_EQ(r.coverage_x100(), 66);  // truncated, never rounded up
+}
+
 TEST(FaultSim, CelementFullyTestable) {
   Netlist nl("cel");
   const int a = nl.add_primary_input("a", false);
@@ -49,11 +83,133 @@ TEST(FaultSim, SiFifoHasUndetectableRedundancy) {
   EXPECT_GT(r.coverage(), 0.7);
 }
 
+TEST(FaultSim, StuckOutputDeadlocksCelement) {
+  // A C-element whose output is stuck low never produces the owed c+ while
+  // both inputs have been applied: nothing is in flight, the environment
+  // waits forever — the deadlock detection that dominates in handshake
+  // circuits. A stuck INPUT is caught too, but as "slow" (the environment
+  // keeps an input edge pending, so it is the cycle watchdog that fires).
+  Netlist nl("cel");
+  const int a = nl.add_primary_input("a", false);
+  const int b = nl.add_primary_input("b", false);
+  const int c = nl.add_net("c", false);
+  nl.add_gate("CEL2", {a, b}, c);
+  nl.mark_primary_output(c);
+  const GoldenRun golden = golden_protocol_run(nl, celement_stg());
+  ASSERT_GT(golden.cycles, 0);
+  EXPECT_TRUE(golden.ok());
+  const FaultOutcome stuck_out =
+      simulate_fault(nl, celement_stg(), Fault{c, false}, golden);
+  EXPECT_TRUE(stuck_out.detected);
+  EXPECT_EQ(stuck_out.cause, FaultCause::kDeadlock);
+  const FaultOutcome stuck_in =
+      simulate_fault(nl, celement_stg(), Fault{a, false}, golden);
+  EXPECT_TRUE(stuck_in.detected);
+  EXPECT_EQ(stuck_in.cause, FaultCause::kSlow);
+}
+
+TEST(FaultSim, WatchdogCutoffIsIntegerComposed) {
+  // A fault on an undriven spare net leaves behaviour untouched, so the
+  // faulty run achieves exactly the golden cycle count. The watchdog then
+  // fires iff 100 * c < cutoff * c — false at the classic 50 and at the
+  // 100 boundary, true at 101. Pure integer composition, no FP rounding.
+  Netlist nl("cel");
+  const int a = nl.add_primary_input("a", false);
+  const int b = nl.add_primary_input("b", false);
+  const int c = nl.add_net("c", false);
+  // An unused primary input: legal to leave undriven, absent from the
+  // spec, so a fault on it cannot change behaviour.
+  const int spare = nl.add_primary_input("spare", false);
+  nl.add_gate("CEL2", {a, b}, c);
+  nl.mark_primary_output(c);
+
+  FaultSimOptions opts;
+  const GoldenRun golden = golden_protocol_run(nl, celement_stg(), opts);
+  ASSERT_TRUE(golden.ok());
+  const Fault benign{spare, true};
+
+  EXPECT_FALSE(
+      simulate_fault(nl, celement_stg(), benign, golden, opts).detected);
+  opts.cycle_fraction_x100 = 100;
+  EXPECT_FALSE(
+      simulate_fault(nl, celement_stg(), benign, golden, opts).detected);
+  opts.cycle_fraction_x100 = 101;
+  const FaultOutcome slow =
+      simulate_fault(nl, celement_stg(), benign, golden, opts);
+  EXPECT_TRUE(slow.detected);
+  EXPECT_EQ(slow.cause, FaultCause::kSlow);
+  opts.cycle_fraction_x100 = 0;  // 0 disables the watchdog entirely
+  EXPECT_FALSE(
+      simulate_fault(nl, celement_stg(), benign, golden, opts).detected);
+}
+
+TEST(FaultSim, DetectionIsComparativeAgainstGoldenBaseline) {
+  // When the golden run itself violates and deadlocks (choice-heavy specs
+  // the scripted environment cannot drive), neither observation
+  // discriminates a fault — only the throughput watchdog does. A stuck
+  // input that stalls the circuit outright is still caught as "slow".
+  Netlist nl("cel");
+  const int a = nl.add_primary_input("a", false);
+  const int b = nl.add_primary_input("b", false);
+  const int c = nl.add_net("c", false);
+  nl.add_gate("CEL2", {a, b}, c);
+  nl.mark_primary_output(c);
+  GoldenRun broken_golden = golden_protocol_run(nl, celement_stg());
+  ASSERT_GT(broken_golden.cycles, 0);
+  broken_golden.conforms = false;
+  broken_golden.deadlocked = true;
+  EXPECT_FALSE(broken_golden.ok());
+  const FaultOutcome out =
+      simulate_fault(nl, celement_stg(), Fault{a, false}, broken_golden);
+  EXPECT_TRUE(out.detected);
+  EXPECT_EQ(out.cause, FaultCause::kSlow);
+  EXPECT_EQ(out.cycles, 0);
+}
+
+TEST(FaultSim, AggregateMatchesPerFaultKernel) {
+  // fault_simulate is exactly enumerate_faults fanned through
+  // simulate_fault — the contract the parallel sweep runner relies on.
+  Netlist nl("cel");
+  const int a = nl.add_primary_input("a", false);
+  const int b = nl.add_primary_input("b", false);
+  const int c = nl.add_net("c", false);
+  nl.add_gate("CEL2", {a, b}, c);
+  nl.mark_primary_output(c);
+  const GoldenRun golden = golden_protocol_run(nl, celement_stg());
+  const FaultSimResult agg = fault_simulate(nl, celement_stg());
+  int detected = 0;
+  std::vector<Fault> undetected;
+  for (const Fault& f : enumerate_faults(nl)) {
+    if (simulate_fault(nl, celement_stg(), f, golden).detected)
+      ++detected;
+    else
+      undetected.push_back(f);
+  }
+  EXPECT_EQ(agg.total, 2 * nl.num_nets());
+  EXPECT_EQ(agg.detected, detected);
+  ASSERT_EQ(agg.undetected.size(), undetected.size());
+  for (std::size_t i = 0; i < undetected.size(); ++i) {
+    EXPECT_EQ(agg.undetected[i].net, undetected[i].net);
+    EXPECT_EQ(agg.undetected[i].stuck_value, undetected[i].stuck_value);
+  }
+}
+
 TEST(FaultSim, RingDetectsStuckPulseChain) {
   const Netlist ring = pulse_ring(3);
   const FaultSimResult r = fault_simulate_ring(ring, "ro0", 40000.0);
   EXPECT_EQ(r.total, 2 * ring.num_nets());
   EXPECT_GE(r.coverage(), 0.95);
+}
+
+TEST(FaultSim, RingStuckWatchNetStopsPulsing) {
+  // The ring tester's detection signal is the pulse count on the watched
+  // net: a stuck watch net cannot pulse at all, so both its polarities
+  // must land in the detected set.
+  const Netlist ring = pulse_ring(3);
+  const int watch = ring.find_net("ro0");
+  ASSERT_GE(watch, 0);
+  const FaultSimResult r = fault_simulate_ring(ring, "ro0", 40000.0);
+  for (const Fault& f : r.undetected) EXPECT_NE(f.net, watch);
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "flow/flow.hpp"
 #include "rt/generate.hpp"
 #include "sg/encode.hpp"
 #include "sg/stategraph.hpp"
@@ -219,6 +220,45 @@ TEST(FuzzDeterminism, SolveCscSequentialVsParallel) {
   // Some seeds must reach an actual candidate search (a spec that builds
   // AND has CSC conflicts), or the differential proves nothing.
   EXPECT_GE(searched, 5) << "no fuzz spec exercised the candidate search";
+}
+
+std::string sweep_or_error(const Stg& stg, const SweepOptions& opts,
+                           int threads, std::string* error) {
+  FlowContext ctx;
+  ctx.budget.corpus = threads;
+  try {
+    return to_sweep_json(run_sweep(stg.name(), stg, opts, ctx));
+  } catch (const Error& e) {
+    *error = e.what();
+    return "";
+  }
+}
+
+TEST(FuzzDeterminism, SweepReportBytesSequentialVsParallel) {
+  // The whole sweep stack — one flow run, variant generation, the
+  // WorkPool fan-out, aggregation, JSON rendering — byte-compared at 1 vs
+  // 8 workers on machine-generated specs. Most fuzz specs die in the flow
+  // (CSC, consistency, synthesis) or have a non-working base scenario;
+  // the error bytes must then match too. A bounded grid keeps the suite
+  // fast while still touching every variant kind.
+  SweepOptions opts;
+  opts.flow.mode = FlowMode::kRelativeTiming;
+  opts.flow.sg.max_states = 4096;
+  opts.fault.sim_time_ps = 8000.0;
+  opts.delay_variants = 4;
+  opts.env_variants = 3;
+  int swept = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const Stg stg = random_stg(seed);
+    std::string e1, e8;
+    const std::string r1 = sweep_or_error(stg, opts, 1, &e1);
+    const std::string r8 = sweep_or_error(stg, opts, 8, &e8);
+    ASSERT_EQ(e1, e8);
+    ASSERT_EQ(r1, r8);
+    if (!r1.empty()) ++swept;
+  }
+  EXPECT_GE(swept, 3) << "generator degenerated: almost nothing sweeps";
 }
 
 TEST(FuzzDeterminism, RingGenerationSequentialVsParallel) {

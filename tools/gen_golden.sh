@@ -2,7 +2,7 @@
 # Regenerate the specs/ corpus goldens.
 #
 #   tools/gen_golden.sh [output.json] [sg-threads] [csc-threads] \
-#                       [backend.json|-] [netlist-dir]
+#                       [backend.json|-] [netlist-dir] [sweep.json|-]
 #
 # Re-exports the built-in builder specs into specs/ (so the checked-in .g
 # files can never drift from the builders), then runs rtflow_cli over the
@@ -15,7 +15,15 @@
 #      specs/golden_backend.json) plus one canonical netlist dump per
 #      spec (default: specs/netlists/<spec>.nl).
 #
-# Pass "-" as the 4th argument to skip the back-end half. The 2nd/3rd
+# A third pass pins the sweep golden (default: specs/golden_sweep.json):
+# the full default-grid scenario sweep of the mmu spec — stuck-at fault
+# coverage, delay-window stress and environment phases — at --threads 4.
+# The sweep report must be byte-identical at every thread count and to
+# any sharded+merged run; the sweep-determinism CI job diffs both against
+# this golden.
+#
+# Pass "-" as the 4th argument to skip the back-end half, and "-" as the
+# 6th to skip the sweep golden. The 2nd/3rd
 # arguments set --sg-threads / --csc-threads (both default 1); every
 # output must be byte-identical at every value — CI's determinism matrix
 # runs this across sg-threads × csc-threads and compares every cell
@@ -37,6 +45,7 @@ SG_THREADS=${2:-1}
 CSC_THREADS=${3:-1}
 BACKEND_OUT=${4:-specs/golden_backend.json}
 NETLIST_DIR=${5:-specs/netlists}
+SWEEP_OUT=${6:-specs/golden_sweep.json}
 
 if [ ! -x "$CLI" ]; then
   echo "gen_golden.sh: ERROR: $CLI not built or not executable" >&2
@@ -72,7 +81,24 @@ trap - EXIT
 echo "gen_golden.sh: wrote $OUT ($# specs, sg-threads=$SG_THREADS," \
   "csc-threads=$CSC_THREADS)"
 
+gen_sweep_golden() {
+  if [ "$SWEEP_OUT" = "-" ]; then
+    return 0
+  fi
+  STMP=$(mktemp "$SWEEP_OUT.tmp.XXXXXX")
+  trap 'rm -f "$STMP"' EXIT
+  if ! "$CLI" sweep --spec mmu --mode rt --threads 4 --out "$STMP"; then
+    echo "gen_golden.sh: ERROR: rtflow_cli sweep failed;" >&2
+    echo "gen_golden.sh: not writing $SWEEP_OUT" >&2
+    exit 1
+  fi
+  mv "$STMP" "$SWEEP_OUT"
+  trap - EXIT
+  echo "gen_golden.sh: wrote $SWEEP_OUT (mmu, default sweep grid)"
+}
+
 if [ "$BACKEND_OUT" = "-" ]; then
+  gen_sweep_golden
   exit 0
 fi
 
@@ -94,3 +120,5 @@ rm -rf "$NETLIST_DIR"
 mv "$NTMP" "$NETLIST_DIR"
 trap - EXIT
 echo "gen_golden.sh: wrote $BACKEND_OUT and $NETLIST_DIR/ ($# specs)"
+
+gen_sweep_golden

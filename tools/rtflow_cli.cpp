@@ -5,6 +5,8 @@
 //   rtflow_cli batch --corpus builtin --threads 8
 //   rtflow_cli batch --to verify-netlist --netlist-dir netlists
 //   rtflow_cli shard --shard 1/3 --spec a.g --spec b.g ... --out s1.json
+//   rtflow_cli sweep --spec mmu --mode rt --threads 8 --out sweep.json
+//   rtflow_cli sweep --spec mmu --shard 1/3 --out sw1.json
 //   rtflow_cli merge s0.json s1.json s2.json --out merged.json
 //   rtflow_cli drive --shards 3 --work-dir work --corpus builtin --out m.json
 //   rtflow_cli serve --socket /tmp/rtflow.sock --cache ~/.cache/rtflow
@@ -62,7 +64,8 @@ const char* const kGlobalUsage =
     "  run           run ONE .g specification through the flow\n"
     "  batch         run a corpus of specifications, emit canonical JSON\n"
     "  shard         run shard i of N of a corpus, emit a shard file\n"
-    "  merge         reassemble N shard files into the batch JSON\n"
+    "  sweep         fan ONE spec out over fault/delay/environment variants\n"
+    "  merge         reassemble N shard files (batch or sweep) into JSON\n"
     "  drive         launch N shard worker processes, retry crashes, merge\n"
     "  serve         long-running daemon: submissions over a local socket\n"
     "  submit        send one .g specification to a serve daemon\n"
@@ -181,6 +184,50 @@ void print_command_usage(std::FILE* to, const char* argv0,
         "                       corpus, flags or shard id fails loudly\n"
         "  --help               this text\n",
         argv0, kCorpusFlags, kBudgetFlags);
+  } else if (cmd == "sweep") {
+    std::fprintf(
+        to,
+        "usage: %s sweep --spec NAME|FILE.g [options]\n"
+        "\n"
+        "Robustness battery: run ONE specification through the flow, then\n"
+        "fan it out over generated variants — every single-stuck-at fault\n"
+        "site of the synthesized netlist (driven by the spec's own\n"
+        "protocol), delay-window assignments sampled from a seeded grid\n"
+        "(stressing the back-annotated RT constraints via metric-timed\n"
+        "reduction), and environment phase offsets — and emit the\n"
+        "canonical SweepReport JSON (normative schema: docs/CLI.md).\n"
+        "Byte-identical at any --threads value; a --shard I/N run emits a\n"
+        "sweep shard file instead, and `merge` over a complete shard set\n"
+        "reproduces the single-process report byte-for-byte.\n"
+        "\n"
+        "  --spec NAME|FILE.g   the specification (required, exactly\n"
+        "                       once): a path, a generated name\n"
+        "                       (pipelineN/ringN), NAME.g, or\n"
+        "                       specs/NAME.g — first match wins\n"
+        "  --mode si|rt         synthesis mode (default rt; RT constraint\n"
+        "                       stress needs rt)\n"
+        "  --max-states N       reachability cap (default 2^20)\n"
+        "  --delay-variants N   delay-grid samples (default 96)\n"
+        "  --env-variants N     environment phase samples (default 64)\n"
+        "  --no-faults          skip the stuck-at variants\n"
+        "  --seed N             variant-grid sampler seed (default 1)\n"
+        "  --sim-ps N           protocol-drive horizon per variant, in ps\n"
+        "                       (default 60000)\n"
+        "  --shard I/N          emit the sweep shard owning variant\n"
+        "                       indices ≡ I (mod N) instead of the report\n"
+        "  --threads N          variant-level workers (default: hardware\n"
+        "                       concurrency)\n"
+        "  --sg-threads N       workers for the one state-graph build\n"
+        "  --csc-threads N      candidate-level workers in the flow run\n"
+        "  --deadline-ms N      cooperative deadline\n"
+        "  --out FILE           write JSON to FILE instead of stdout\n"
+        "  --help               this text\n"
+        "\n"
+        "Exit: 0 sweep ran (undetected faults / broken windows are\n"
+        "FINDINGS, reported in the JSON, not failures); 1 the flow or the\n"
+        "fault-free protocol run failed, or output could not be written;\n"
+        "2 usage error.\n",
+        argv0);
   } else if (cmd == "drive") {
     std::fprintf(
         to,
@@ -275,6 +322,13 @@ void print_command_usage(std::FILE* to, const char* argv0,
         "corpus in one `batch` process. Exit code follows the batch\n"
         "contract: 1 if any merged item failed.\n"
         "\n"
+        "Sweep shard files (\"kind\": \"sweep-shard\", from `sweep\n"
+        "--shard`) are detected from the first file and merged into the\n"
+        "canonical SweepReport instead — byte-identical to the\n"
+        "single-process `sweep`. Batch and sweep shards cannot be mixed.\n"
+        "Sweep merges exit 0 on success: undetected faults are findings,\n"
+        "not failures.\n"
+        "\n"
         "  --out FILE           write JSON to FILE instead of stdout\n"
         "  --help               this text\n",
         argv0);
@@ -353,6 +407,11 @@ struct CliOptions {
   std::string socket_path;   // serve/submit
   std::string submit_name;   // submit: record name override
   bool no_cache = false;     // submit: bypass the daemon's store
+  int sweep_delay_variants = 96;   // sweep: delay-grid samples
+  int sweep_env_variants = 64;     // sweep: environment phase samples
+  unsigned long long sweep_seed = 1;  // sweep: grid sampler seed
+  long sweep_sim_ps = -1;          // sweep: sim horizon (-1: default)
+  bool sweep_no_faults = false;    // sweep: skip stuck-at variants
 };
 
 /// One flag of the shared vocabulary; returns true if consumed. `i` is
@@ -501,6 +560,44 @@ bool parse_common_flag(int argc, char** argv, int* i, CliOptions* o,
     if (val) o->submit_name = val;
   } else if (!std::strcmp(arg, "--no-cache")) {
     o->no_cache = true;
+  } else if (!std::strcmp(arg, "--delay-variants") ||
+             !std::strcmp(arg, "--env-variants")) {
+    const bool is_delay = !std::strcmp(arg, "--delay-variants");
+    const char* val = need_value();
+    if (!val) return true;
+    char* end = nullptr;
+    const long n = std::strtol(val, &end, 10);
+    if (end == val || *end != '\0' || n < 0) {
+      std::fprintf(stderr, "%s: %s must be a number >= 0\n", argv[0], arg);
+      *usage_error = true;
+      return true;
+    }
+    (is_delay ? o->sweep_delay_variants : o->sweep_env_variants) =
+        static_cast<int>(n);
+  } else if (!std::strcmp(arg, "--seed")) {
+    const char* val = need_value();
+    if (!val) return true;
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(val, &end, 10);
+    if (end == val || *end != '\0') {
+      std::fprintf(stderr, "%s: --seed must be a number >= 0\n", argv[0]);
+      *usage_error = true;
+      return true;
+    }
+    o->sweep_seed = n;
+  } else if (!std::strcmp(arg, "--sim-ps")) {
+    const char* val = need_value();
+    if (!val) return true;
+    char* end = nullptr;
+    const long n = std::strtol(val, &end, 10);
+    if (end == val || *end != '\0' || n < 1) {
+      std::fprintf(stderr, "%s: --sim-ps must be a number >= 1\n", argv[0]);
+      *usage_error = true;
+      return true;
+    }
+    o->sweep_sim_ps = n;
+  } else if (!std::strcmp(arg, "--no-faults")) {
+    o->sweep_no_faults = true;
   } else {
     return false;
   }
@@ -849,6 +946,84 @@ int cmd_shard(int argc, char** argv) {
   return failed == 0 ? 0 : 1;
 }
 
+/// Resolve `sweep --spec` with user-friendly fallbacks: an existing
+/// path, a generated scaling name (pipelineN/ringN), then NAME.g and
+/// specs/NAME.g relative to the working directory — so `sweep --spec
+/// mmu` works from the repo root. First match wins; the NAME the user
+/// typed is what the report carries.
+bool resolve_sweep_spec(const std::string& arg, Stg* spec,
+                        std::string* error) {
+  try {
+    if (std::filesystem::exists(arg)) {
+      *spec = parse_stg_file(arg);
+      return true;
+    }
+    if (std::optional<Stg> generated = generated_spec(arg)) {
+      *spec = std::move(*generated);
+      return true;
+    }
+    for (const std::string& candidate : {arg + ".g", "specs/" + arg + ".g"}) {
+      if (std::filesystem::exists(candidate)) {
+        *spec = parse_stg_file(candidate);
+        return true;
+      }
+    }
+  } catch (const Error& e) {
+    *error = e.what();
+    return false;
+  }
+  *error = "no file, generated family, NAME.g or specs/NAME.g matches '" +
+           arg + "'";
+  return false;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  const CliOptions o = parse_or_exit(
+      argc, argv, "sweep",
+      {"--spec", "--mode", "--max-states", "--delay-variants",
+       "--env-variants", "--no-faults", "--seed", "--sim-ps", "--shard",
+       "--threads", "--sg-threads", "--csc-threads", "--deadline-ms",
+       "--out"},
+      /*accept_positional=*/false);
+  if (o.spec_files.size() != 1) {
+    std::fprintf(stderr,
+                 "%s sweep: exactly one --spec NAME|FILE.g is required\n",
+                 argv[0]);
+    print_command_usage(stderr, argv[0], "sweep");
+    return 2;
+  }
+  const std::string& name = o.spec_files[0];
+  Stg spec;
+  std::string resolve_error;
+  if (!resolve_sweep_spec(name, &spec, &resolve_error)) {
+    std::fprintf(stderr, "%s sweep: %s\n", argv[0], resolve_error.c_str());
+    return 1;
+  }
+
+  SweepOptions so;
+  so.flow = o.file_opts;
+  so.faults = !o.sweep_no_faults;
+  so.delay_variants = o.sweep_delay_variants;
+  so.env_variants = o.sweep_env_variants;
+  so.seed = o.sweep_seed;
+  if (o.sweep_sim_ps > 0)
+    so.fault.sim_time_ps = static_cast<double>(o.sweep_sim_ps);
+
+  CliContext cli(o);
+  std::string text;
+  try {
+    if (o.shard_of > 0)
+      text = to_sweep_shard_json(
+          run_sweep_shard(name, spec, o.shard, o.shard_of, so, cli.ctx));
+    else
+      text = to_sweep_json(run_sweep(name, spec, so, cli.ctx));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s sweep: %s\n", argv[0], e.what());
+    return 1;
+  }
+  return write_output(argv[0], o.out_path, text) ? 0 : 1;
+}
+
 /// The process driver: the PR-5 "driver that launches the worker
 /// processes itself" leftover. Workers are this same binary re-executed
 /// as `shard --resume`, so a crashed worker's checkpoint file makes its
@@ -1194,7 +1369,7 @@ int cmd_merge(int argc, char** argv) {
     print_command_usage(stderr, argv[0], "merge");
     return 2;
   }
-  std::vector<ShardRun> shards;
+  std::vector<std::string> texts;
   for (const std::string& path : o.positional) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -1204,11 +1379,42 @@ int cmd_merge(int argc, char** argv) {
     }
     std::ostringstream text;
     text << in.rdbuf();
+    texts.push_back(text.str());
+  }
+
+  // Kind dispatch off the first file: a complete merge set is either all
+  // batch shards or all sweep shards (a mix fails in the parsers below
+  // with the kind mismatch named).
+  if (is_sweep_shard_json(texts[0])) {
+    std::vector<SweepShard> shards;
+    for (std::size_t i = 0; i < texts.size(); ++i) {
+      try {
+        shards.push_back(parse_sweep_shard_json(texts[i]));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "%s merge: %s: %s\n", argv[0],
+                     o.positional[i].c_str(), e.what());
+        return 1;
+      }
+    }
+    SweepReport report;
     try {
-      shards.push_back(parse_shard_json(text.str()));
+      report = merge_sweep_shards(shards);
     } catch (const Error& e) {
-      std::fprintf(stderr, "%s merge: %s: %s\n", argv[0], path.c_str(),
-                   e.what());
+      std::fprintf(stderr, "%s merge: %s\n", argv[0], e.what());
+      return 1;
+    }
+    // Sweep findings (undetected faults, broken windows) are results,
+    // not failures: success is exit 0, matching `sweep` itself.
+    return write_output(argv[0], o.out_path, to_sweep_json(report)) ? 0 : 1;
+  }
+
+  std::vector<ShardRun> shards;
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    try {
+      shards.push_back(parse_shard_json(texts[i]));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s merge: %s: %s\n", argv[0],
+                   o.positional[i].c_str(), e.what());
       return 1;
     }
   }
@@ -1289,6 +1495,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return cmd_run(argc, argv);
   if (cmd == "batch") return cmd_batch(argc, argv);
   if (cmd == "shard") return cmd_shard(argc, argv);
+  if (cmd == "sweep") return cmd_sweep(argc, argv);
   if (cmd == "merge") return cmd_merge(argc, argv);
   if (cmd == "drive") return cmd_drive(argc, argv);
   if (cmd == "serve") return cmd_serve(argc, argv);
