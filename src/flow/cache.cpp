@@ -175,6 +175,13 @@ std::optional<BatchItemResult> ResultCache::lookup(
     corrupt(path, std::string("record does not parse: ") + e.what());
   }
   item.netlist_text = std::move(netlist);
+
+  // Refresh the entry's recency stamp so LRU pruning sees hits, not just
+  // writes. Explicit (not atime: relatime/noatime mounts don't record
+  // reads). Best-effort — a failed touch only ages the entry.
+  std::error_code touch_ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), touch_ec);
+
   return item;
 }
 
@@ -205,6 +212,57 @@ std::size_t ResultCache::clear() const {
     if (fs::remove(p, ec) && !ec) ++removed;
   }
   return removed;
+}
+
+ResultCache::PruneStats ResultCache::prune(std::uintmax_t max_bytes,
+                                           const std::string& protect_key)
+    const {
+  struct Entry {
+    fs::file_time_type stamp;
+    fs::path path;
+    std::uintmax_t bytes = 0;
+  };
+  const std::string protect_path =
+      protect_key.empty() ? std::string() : entry_path(protect_key);
+
+  PruneStats stats;
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().extension() != kEntryExt) continue;
+    std::error_code stat_ec;
+    Entry e;
+    e.path = it->path();
+    e.bytes = fs::file_size(e.path, stat_ec);
+    if (stat_ec) continue;  // vanished under a concurrent clear/prune
+    e.stamp = fs::last_write_time(e.path, stat_ec);
+    if (stat_ec) continue;
+    ++stats.scanned;
+    stats.bytes_before += e.bytes;
+    entries.push_back(std::move(e));
+  }
+  stats.bytes_after = stats.bytes_before;
+  if (stats.bytes_before <= max_bytes) return stats;
+
+  // Oldest first; the path tie-break keeps the order deterministic when
+  // stamps collide (coarse filesystem clocks under a fast test).
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.stamp != b.stamp) return a.stamp < b.stamp;
+    return a.path < b.path;
+  });
+  for (const Entry& e : entries) {
+    if (stats.bytes_after <= max_bytes) break;
+    if (!protect_path.empty() && e.path == protect_path) continue;
+    std::error_code rm_ec;
+    if (fs::remove(e.path, rm_ec) && !rm_ec) {
+      ++stats.evicted;
+      stats.bytes_after -= std::min(stats.bytes_after, e.bytes);
+    }
+  }
+  return stats;
 }
 
 BatchResult run_batch_cached(const std::vector<BatchSpec>& corpus,

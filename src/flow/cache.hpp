@@ -93,6 +93,26 @@ class ResultCache {
   /// Delete every entry; returns how many were removed.
   std::size_t clear() const;
 
+  struct PruneStats {
+    std::size_t scanned = 0;          ///< entries found before pruning
+    std::size_t evicted = 0;          ///< entries deleted
+    std::uintmax_t bytes_before = 0;  ///< store size before
+    std::uintmax_t bytes_after = 0;   ///< store size after
+  };
+  /// Evict least-recently-used entries until the store fits in
+  /// `max_bytes` (`rtflow_cli cache prune --max-bytes`, and the serve
+  /// daemon's `--cache-max-bytes` cap after each store). Recency is the
+  /// entry file's write stamp: store() sets it, and a successful
+  /// lookup() refreshes it — an explicit touch, because atime is
+  /// unreliable under relatime/noatime mounts. Eviction order is
+  /// deterministic for a given set of stamps: ascending (stamp, path).
+  /// `protect_key`, when non-empty, names an entry that is never
+  /// evicted — the daemon passes the key it just stored so a cap
+  /// enforcement can't eat the answer mid-request. Entries that vanish
+  /// concurrently (another pruner, a clear) are skipped, not errors.
+  PruneStats prune(std::uintmax_t max_bytes,
+                   const std::string& protect_key = std::string()) const;
+
  private:
   std::string dir_;
 };

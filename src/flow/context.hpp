@@ -34,6 +34,8 @@
 
 namespace rtcad {
 
+class MetricsRegistry;  // flow/metrics.hpp
+
 /// The machine split across the three parallelism levels. Arbitration
 /// rule: a non-negative level OVERRIDES the corresponding scattered
 /// option everywhere in the flow (sg.threads, encode.threads,
@@ -111,6 +113,13 @@ struct FlowContext {
   /// observer fires from whichever worker runs the item, so it must be
   /// thread-safe when the corpus level is parallel.
   std::function<void(const StageTrace&)> on_stage;
+  /// Optional, not owned; must outlive the run. When set, the pipeline
+  /// feeds every finished StageTrace into the registry's per-stage
+  /// latency histograms and outcome counters (MetricsRegistry is
+  /// internally thread-safe, so one registry can span a parallel
+  /// batch). Purely observational: canonical output is byte-identical
+  /// with or without it.
+  MetricsRegistry* metrics = nullptr;
 
   bool cancelled() const { return cancel && cancel->cancelled(); }
   void check_cancelled(const char* where) const {

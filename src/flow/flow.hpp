@@ -11,8 +11,10 @@
 #include "flow/batchflow.hpp"   // IWYU pragma: export
 #include "flow/cache.hpp"       // IWYU pragma: export
 #include "flow/context.hpp"     // IWYU pragma: export
+#include "flow/metrics.hpp"     // IWYU pragma: export
 #include "flow/pipeline.hpp"    // IWYU pragma: export
 #include "flow/rtflow.hpp"      // IWYU pragma: export
 #include "flow/service.hpp"     // IWYU pragma: export
 #include "flow/shard.hpp"       // IWYU pragma: export
 #include "flow/sweep.hpp"       // IWYU pragma: export
+#include "flow/transport.hpp"   // IWYU pragma: export

@@ -1,18 +1,20 @@
 // Flow-as-a-service: a long-running daemon that accepts specification
-// submissions over a local Unix-domain socket, schedules them on the
-// FlowContext ThreadBudget, streams per-stage progress, honors
-// per-request CancelToken deadlines, and consults/populates the
-// content-addressed result cache. `rtflow_cli serve` is a thin wrapper
-// over FlowService; `rtflow_cli submit` over serve_submit. Tests drive
-// both in-process.
+// submissions over a local Unix-domain socket and/or a TCP endpoint,
+// schedules them on the FlowContext ThreadBudget, streams per-stage
+// progress, honors per-request CancelToken deadlines, consults and
+// populates the content-addressed result cache, and keeps a
+// MetricsRegistry of what it is doing. `rtflow_cli serve` is a thin
+// wrapper over FlowService; `rtflow_cli submit` over
+// serve_submit/serve_submit_batch. Tests drive both in-process.
 //
 // Wire protocol (line-oriented, LF-terminated, one request per
-// connection; normative reference in docs/CLI.md):
+// connection, IDENTICAL over both transports; normative reference in
+// docs/CLI.md):
 //
 //   client -> server
 //     rtflow-serve 1
 //     submit
-//     name <display name>            (optional; default "<socket>")
+//     name <display name>            (optional; default "<submitted>")
 //     mode rt|si                     (optional; default rt)
 //     max-states <N>                 (optional)
 //     to <stage>                     (optional; see list-stages)
@@ -34,20 +36,54 @@
 //                                     this item, then a newline)
 //     done
 //
-//   Control verbs replace "submit": "ping" -> "pong"; "stats" -> one
-//   "stats ..." line; "shutdown" -> "bye", then the server stops
-//   accepting and drains. A malformed request gets "error <message>" and
-//   the connection is closed; the server survives.
+//   The `batch` verb submits a whole corpus on one connection and
+//   streams one record per item in corpus order (bytes identical to
+//   `rtflow_cli batch` for the same items — both sides render through
+//   item_record_json):
+//
+//   client -> server
+//     rtflow-serve 1
+//     batch
+//     cache on|off                   (optional, whole batch)
+//     deadline-ms <N>                (optional, whole batch)
+//     item <display name>            (one block per spec, corpus order)
+//     mode rt|si                     (optional, this item)
+//     max-states <N>                 (optional)
+//     to <stage>                     (optional)
+//     spec <byte-count>
+//     <.g specification bytes>
+//     ... more item blocks ...
+//     run
+//
+//   server -> client
+//     rtflow-serve 1
+//     accepted items=<N>
+//     item <index> key=<64 hex | -> cache hit|miss|off
+//     record <byte-count>
+//     <canonical item record JSON>
+//     ... per item, corpus order ...
+//     done
+//
+//   Control verbs replace "submit": "ping" -> "pong"; "shutdown" ->
+//   "bye", then the server stops accepting and drains. "stats" -> the
+//   legacy one-line "stats ..." summary, then a framed metrics JSON
+//   snapshot ("metrics <byte-count>" + payload + "done") — clients that
+//   read only the first line (serve_control) keep working. A malformed
+//   request gets "error <message>" and the connection is closed; the
+//   server survives.
 //
 // Scheduling: at most ThreadBudget::corpus submissions run their flow
 // concurrently (a counting gate, FIFO-fair by arrival at the gate); the
 // graph and candidate levels of the budget apply inside each request's
-// pipeline, exactly as in a batch. A request whose deadline fires — or
-// whose client disconnects mid-stream — is cancelled cooperatively and
+// pipeline, exactly as in a batch. Batch-verb items run sequentially on
+// their connection, each taking one gate slot — concurrency comes from
+// concurrent connections. A request whose deadline fires — or whose
+// client disconnects mid-stream — is cancelled cooperatively and
 // reports the flow's byte-stable "cancelled" diagnostic.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -55,6 +91,7 @@
 
 #include "flow/context.hpp"
 #include "flow/rtflow.hpp"
+#include "flow/transport.hpp"
 
 namespace rtcad {
 
@@ -64,24 +101,35 @@ inline constexpr int kServeProtocol = 1;
 struct ServeOptions {
   /// Filesystem path of the Unix-domain listening socket. A stale socket
   /// file from a dead server is replaced; a live server on the same path
-  /// makes start() throw.
+  /// makes start() throw. Empty: no Unix listener (then `tcp` must be
+  /// set).
   std::string socket_path;
+  /// TCP endpoint "HOST:PORT" to listen on alongside (or instead of) the
+  /// Unix socket; port 0 binds an ephemeral port readable via
+  /// tcp_port(). Empty: no TCP listener.
+  std::string tcp;
   /// corpus = max concurrent flow runs; graph/candidate apply per request.
   ThreadBudget budget;
   /// Result-store directory; empty serves without memoization.
   std::string cache_dir;
-  /// Hard cap on accepted specification size (a local-socket daemon still
-  /// refuses to buffer absurd submissions).
+  /// When > 0, the store is LRU-pruned back under this many bytes after
+  /// each miss is persisted; the just-written entry is never evicted.
+  std::uintmax_t cache_max_bytes = 0;
+  /// Hard cap on accepted specification size (a daemon still refuses to
+  /// buffer absurd submissions).
   std::size_t max_spec_bytes = std::size_t{16} << 20;
 };
 
 struct ServeStats {
-  long long requests = 0;        ///< submit requests accepted
+  long long requests = 0;        ///< submissions accepted (batch: per item)
   long long cache_hits = 0;
   long long cache_misses = 0;
   long long cancelled = 0;       ///< submissions that ended cancelled
   long long protocol_errors = 0;
+  long long evicted = 0;         ///< entries pruned by --cache-max-bytes
 };
+
+class MetricsRegistry;
 
 class FlowService {
  public:
@@ -91,9 +139,11 @@ class FlowService {
   FlowService(const FlowService&) = delete;
   FlowService& operator=(const FlowService&) = delete;
 
-  /// Bind, listen, and start the acceptor. Throws Error when the socket
-  /// cannot be created (path too long, directory missing, address in
-  /// use by a live server).
+  /// Bind, listen, and start one acceptor per configured transport.
+  /// Throws Error when any listener cannot be created — Unix path too
+  /// long / directory missing / address held by a live daemon, TCP port
+  /// in use or privileged. Always a clean Error, never an abort; on
+  /// failure no listener is left running.
   void start();
 
   /// Stop accepting, cancel every in-flight request, join all
@@ -108,6 +158,13 @@ class FlowService {
   bool running() const;
   ServeStats stats() const;
   const std::string& socket_path() const;
+  /// The bound TCP port (resolving an ephemeral ":0" bind), or 0 when
+  /// no TCP listener is configured / the service has not started.
+  int tcp_port() const;
+  /// The server's metrics registry (counters/gauges/histograms fed by
+  /// the submit, cache and stage paths). Valid for the service's
+  /// lifetime; thread-safe.
+  MetricsRegistry& metrics();
 
  private:
   struct Impl;
@@ -129,6 +186,11 @@ struct SubmitRequest {
 struct SubmitResult {
   bool protocol_ok = false;    ///< the exchange itself completed
   std::string error;           ///< protocol-level failure (when !protocol_ok)
+  /// The failure happened in the transport — connect refused, banner
+  /// never arrived, stream cut mid-record — as opposed to the server
+  /// answering "error ...". Transport failures are the retryable class
+  /// (`submit --retries`); a served error is an answer, not a failure.
+  bool transport_failure = false;
   std::string cache_status;    ///< "hit", "miss" or "off"
   std::string key;             ///< cache key, or "-"
   std::vector<std::string> stage_lines;  ///< streamed "stage ..." payloads
@@ -138,15 +200,51 @@ struct SubmitResult {
 /// Submit one specification and collect the streamed response.
 /// `on_line` (optional) observes every response line as it arrives —
 /// before the call returns — which is how the CLI streams progress to a
-/// terminal. Throws Error when the socket cannot be reached; protocol
-/// failures are reported in the result, not thrown.
+/// terminal. Connect failures are reported in the result (error +
+/// transport_failure), not thrown.
+SubmitResult serve_submit(
+    const Endpoint& endpoint, const SubmitRequest& req,
+    const std::function<void(const std::string& line)>& on_line = {});
+
+/// Back-compat convenience: submit over the Unix socket at `socket_path`.
 SubmitResult serve_submit(
     const std::string& socket_path, const SubmitRequest& req,
     const std::function<void(const std::string& line)>& on_line = {});
 
-/// Send a control verb ("ping", "stats", "shutdown"); returns the
-/// response line. Throws Error when the socket cannot be reached.
+/// Whole-batch options carried by the `batch` verb (per-item fields ride
+/// on each SubmitRequest; its deadline_ms/use_cache are ignored).
+struct BatchSubmitOptions {
+  bool use_cache = true;
+  long deadline_ms = -1;  ///< whole-batch deadline; <0: none
+};
+
+struct BatchSubmitResult {
+  bool protocol_ok = false;
+  std::string error;
+  bool transport_failure = false;          ///< see SubmitResult
+  std::vector<std::string> records;        ///< per item, corpus order
+  std::vector<std::string> cache_statuses; ///< "hit"|"miss"|"off" per item
+};
+
+/// Submit a corpus over one connection via the `batch` verb; records
+/// stream back in corpus order, each byte-identical to what
+/// `rtflow_cli batch` would emit for that item. `on_line` observes
+/// response framing lines (not record payloads) as they arrive.
+BatchSubmitResult serve_submit_batch(
+    const Endpoint& endpoint, const std::vector<SubmitRequest>& items,
+    const BatchSubmitOptions& opts = {},
+    const std::function<void(const std::string& line)>& on_line = {});
+
+/// Send a control verb ("ping", "stats", "shutdown"); returns the first
+/// response line. Throws Error when the endpoint cannot be reached.
+std::string serve_control(const Endpoint& endpoint, const std::string& verb);
 std::string serve_control(const std::string& socket_path,
                           const std::string& verb);
+
+/// Fetch the daemon's metrics snapshot: the framed JSON payload of the
+/// extended "stats" response (deterministic schema; see docs/CLI.md).
+/// Throws Error when the endpoint cannot be reached or the response is
+/// malformed.
+std::string serve_metrics(const Endpoint& endpoint);
 
 }  // namespace rtcad

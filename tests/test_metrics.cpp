@@ -1,0 +1,140 @@
+// The metrics registry: instrument semantics (counters, gauges, the
+// fixed-ladder latency histogram), get-or-create identity, the
+// FlowContext::on_stage feed, and the deterministic JSON snapshot the
+// extended `stats` verb serves.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "flow/context.hpp"
+#include "flow/json.hpp"
+#include "flow/metrics.hpp"
+
+namespace rtcad {
+namespace {
+
+TEST(Metrics, BucketLadderIsTheDocumentedFixedShape) {
+  const auto& bounds = Histogram::bucket_bounds_us();
+  ASSERT_EQ(bounds.size(), 17u);
+  EXPECT_EQ(bounds.front(), 100);       // 100µs floor
+  EXPECT_EQ(bounds.back(), 25000000);   // 25s ceiling, then +inf
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "strictly ascending";
+}
+
+TEST(Metrics, HistogramRoutesObservationsToTheRightBuckets) {
+  Histogram h;
+  h.observe_us(0);          // clamped floor -> first bucket
+  h.observe_us(100);        // bound is an upper (inclusive) edge
+  h.observe_us(101);        // just past the first edge
+  h.observe_us(-5);         // negative clamps to 0, never underflows
+  h.observe_us(30000000);   // past the last bound -> overflow bucket
+
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum_us(), 0 + 100 + 101 + 0 + 30000000);
+  const std::vector<long long> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), Histogram::bucket_bounds_us().size() + 1);
+  EXPECT_EQ(counts[0], 3);              // 0, 100, -5
+  EXPECT_EQ(counts[1], 1);              // 101 -> (100, 250]
+  EXPECT_EQ(counts.back(), 1);          // 30s -> +inf
+  long long total = 0;
+  for (long long c : counts) total += c;
+  EXPECT_EQ(total, h.count()) << "every observation lands in one bucket";
+}
+
+TEST(Metrics, RegistryGetOrCreateReturnsStableInstruments) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x");
+  c.add(2);
+  EXPECT_EQ(&reg.counter("x"), &c) << "same name, same instrument";
+  EXPECT_EQ(reg.counter("x").value(), 2);
+
+  reg.gauge("g").set(7);
+  reg.gauge("g").add(-3);
+  EXPECT_EQ(reg.gauge("g").value(), 4);
+
+  Histogram& h = reg.histogram("lat");
+  h.observe_us(50);
+  EXPECT_EQ(&reg.histogram("lat"), &h);
+  EXPECT_EQ(reg.histogram("lat").count(), 1);
+}
+
+TEST(Metrics, ObserveStageFeedsLatencyAndOutcomeInstruments) {
+  MetricsRegistry reg;
+  StageTrace ok;
+  ok.stage = "reduce";
+  ok.status = StageStatus::kOk;
+  ok.wall_ms = 1.5;  // -> 1500µs
+  reg.observe_stage(ok);
+  reg.observe_stage(ok);
+
+  StageTrace failed;
+  failed.stage = "reduce";
+  failed.status = StageStatus::kFailed;
+  reg.observe_stage(failed);
+
+  EXPECT_EQ(reg.counter("stage_total.reduce.ok").value(), 2);
+  EXPECT_EQ(reg.counter("stage_total.reduce.failed").value(), 1);
+  EXPECT_EQ(reg.histogram("stage_us.reduce").count(), 3);
+  EXPECT_EQ(reg.histogram("stage_us.reduce").sum_us(), 3000);
+}
+
+TEST(Metrics, ToJsonIsDeterministicAndSorted) {
+  // Two registries fed the same observations in DIFFERENT orders must
+  // render byte-identical JSON: std::map sorts the names, the bucket
+  // ladder is shared, and the values are integers.
+  const auto feed = [](MetricsRegistry& reg, bool reversed) {
+    const std::vector<std::string> names = {"b.two", "a.one", "c.three"};
+    for (std::size_t n = 0; n < names.size(); ++n) {
+      const std::string& name =
+          reversed ? names[names.size() - 1 - n] : names[n];
+      reg.counter(name).add(static_cast<long long>(name.size()));
+      reg.histogram("h." + name).observe_us(400);
+    }
+    reg.gauge("active").set(3);
+  };
+  MetricsRegistry a, b;
+  feed(a, false);
+  feed(b, true);
+  EXPECT_EQ(a.to_json(), b.to_json());
+
+  // And the snapshot is well-formed JSON with the documented envelope.
+  const Json parsed = parse_json(a.to_json(), "metrics");
+  EXPECT_EQ(json_require_int(parsed, "schema", "metrics"), 1);
+  EXPECT_EQ(json_require_string(parsed, "kind", "metrics"), "metrics");
+  const Json& counters = json_require(parsed, "counters", "metrics");
+  ASSERT_EQ(counters.obj.size(), 3u);
+  EXPECT_EQ(counters.obj[0].first, "a.one") << "names sort lexicographically";
+  EXPECT_EQ(counters.obj[1].first, "b.two");
+  EXPECT_EQ(counters.obj[2].first, "c.three");
+  const Json& hist = json_require(parsed, "histograms", "metrics");
+  ASSERT_FALSE(hist.obj.empty());
+  const Json& first = hist.obj[0].second;
+  EXPECT_EQ(json_require(first, "bounds_us", "metrics").arr.size(), 17u);
+  EXPECT_EQ(json_require(first, "counts", "metrics").arr.size(), 18u);
+}
+
+TEST(Metrics, ConcurrentFeedsLoseNothing) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      // Hammer one shared counter and one shared histogram through the
+      // get-or-create path every iteration: the registry lock only
+      // resolves names, the increments themselves are atomic.
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.counter("shared").add(1);
+        reg.histogram("lat").observe_us(i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(reg.counter("shared").value(), kThreads * kPerThread);
+  EXPECT_EQ(reg.histogram("lat").count(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace rtcad

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "flow/flow.hpp"
+#include "flow/json.hpp"
 #include "stg/builders.hpp"
 #include "stg/parse.hpp"
 
@@ -23,7 +24,14 @@ namespace fs = std::filesystem;
 /// bytes, so the name stays compact), with a fresh store when asked.
 class ServeTest : public ::testing::Test {
  protected:
-  void start(bool with_cache) {
+  enum class Transport { kUnix, kTcp };
+
+  void start(bool with_cache) { start_on(with_cache, Transport::kUnix); }
+  /// TCP-only daemon on an ephemeral loopback port (no Unix listener, so
+  /// these tests also prove TCP can carry the whole protocol alone).
+  void start_tcp(bool with_cache) { start_on(with_cache, Transport::kTcp); }
+
+  void start_on(bool with_cache, Transport transport) {
     const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
     base_ = (fs::temp_directory_path() /
              (std::string("rtsv_") + std::to_string(::getpid()) + "_" +
@@ -32,7 +40,10 @@ class ServeTest : public ::testing::Test {
     fs::remove_all(base_);
     fs::create_directories(base_);
     ServeOptions opts;
-    opts.socket_path = base_ + "/s";
+    if (transport == Transport::kTcp)
+      opts.tcp = "127.0.0.1:0";
+    else
+      opts.socket_path = base_ + "/s";
     if (with_cache) opts.cache_dir = base_ + "/store";
     opts.budget.corpus = 2;
     service_ = std::make_unique<FlowService>(std::move(opts));
@@ -44,6 +55,9 @@ class ServeTest : public ::testing::Test {
     fs::remove_all(base_);
   }
   std::string socket() const { return service_->socket_path(); }
+  Endpoint tcp() const {
+    return Endpoint::tcp("127.0.0.1", service_->tcp_port());
+  }
 
   std::string base_;
   std::unique_ptr<FlowService> service_;
@@ -190,6 +204,257 @@ TEST_F(ServeTest, ConcurrentSubmissionsAllGetCorrectRecords) {
   for (std::thread& t : clients) t.join();
   for (const std::string& record : records) EXPECT_EQ(record, expected);
   EXPECT_EQ(service_->stats().requests, kClients);
+}
+
+// --- the TCP transport ------------------------------------------------------
+
+TEST_F(ServeTest, TcpSubmitReturnsTheExactBatchRecordBytes) {
+  start_tcp(/*with_cache=*/false);
+  ASSERT_GT(service_->tcp_port(), 0) << "ephemeral port resolved";
+  const SubmitRequest req = celement_request();
+  const SubmitResult res = serve_submit(tcp(), req);
+  ASSERT_TRUE(res.protocol_ok) << res.error;
+  EXPECT_EQ(res.cache_status, "off");
+  EXPECT_EQ(res.record_json, reference_record(req))
+      << "the transport must not perturb a single record byte";
+  EXPECT_FALSE(res.stage_lines.empty());
+}
+
+TEST_F(ServeTest, ConcurrentTcpClientsAllGetTheBatchBytes) {
+  start_tcp(/*with_cache=*/true);
+  const SubmitRequest req = celement_request();
+  const std::string expected = reference_record(req);
+
+  constexpr int kClients = 6;  // more clients than the corpus budget (2)
+  std::vector<std::string> records(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      const SubmitResult res = serve_submit(tcp(), req);
+      if (res.protocol_ok)
+        records[static_cast<std::size_t>(i)] = res.record_json;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const std::string& record : records) EXPECT_EQ(record, expected);
+  EXPECT_EQ(service_->stats().requests, kClients);
+}
+
+TEST(Serve, TcpBindFailureIsACleanErrorNotAnAbort) {
+  ServeOptions holder;
+  holder.tcp = "127.0.0.1:0";
+  FlowService first{std::move(holder)};
+  first.start();
+  ASSERT_GT(first.tcp_port(), 0);
+
+  // A second daemon on the SAME (now occupied) port must throw a clean
+  // Error from start() and leave nothing running.
+  ServeOptions clash;
+  clash.tcp = "127.0.0.1:" + std::to_string(first.tcp_port());
+  FlowService second{std::move(clash)};
+  EXPECT_THROW(second.start(), Error);
+  EXPECT_FALSE(second.running());
+
+  // The incumbent survives the failed challenger untouched.
+  EXPECT_EQ(serve_control(Endpoint::tcp("127.0.0.1", first.tcp_port()),
+                          "ping"),
+            "pong");
+  first.stop();
+}
+
+TEST(Serve, MalformedTcpEndpointsAreLoudErrors) {
+  EXPECT_THROW(parse_tcp_endpoint("no-port"), Error);
+  EXPECT_THROW(parse_tcp_endpoint("host:"), Error);
+  EXPECT_THROW(parse_tcp_endpoint("host:notaport"), Error);
+  EXPECT_THROW(parse_tcp_endpoint("host:70000"), Error);
+  EXPECT_EQ(parse_tcp_endpoint("[::1]:9000").host, "::1");
+  EXPECT_EQ(parse_tcp_endpoint("127.0.0.1:0").port, 0);
+  EXPECT_EQ(parse_tcp_endpoint(":8080").host, "") << "empty host is valid";
+}
+
+TEST(Serve, ConnectionRefusedIsATransportFailureNotAServedError) {
+  // Bind an ephemeral port, then free it: the port is now (almost
+  // certainly) refusing connections, which must surface as the
+  // RETRYABLE class — transport_failure — not as a served "error".
+  Listener probe = listen_tcp(Endpoint::tcp("127.0.0.1", 0));
+  const int port = probe.tcp_port();
+  probe.shutdown_and_close();
+
+  SubmitRequest req;
+  req.name = "unreachable";
+  req.spec_text = "#";
+  const SubmitResult res =
+      serve_submit(Endpoint::tcp("127.0.0.1", port), req);
+  EXPECT_FALSE(res.protocol_ok);
+  EXPECT_TRUE(res.transport_failure);
+  EXPECT_FALSE(res.error.empty());
+}
+
+// --- the batch verb ---------------------------------------------------------
+
+/// Three distinct specs, deliberately NOT name-sorted: the records must
+/// come back in submission (corpus) order, not key or name order.
+std::vector<SubmitRequest> three_item_corpus() {
+  std::vector<SubmitRequest> items;
+  const std::pair<const char*, Stg> specs[] = {
+      {"toggle", toggle_stg()},
+      {"celement", celement_stg()},
+      {"fifo", fifo_csc_stg()},
+  };
+  for (const auto& [name, stg] : specs) {
+    SubmitRequest req;
+    req.name = name;
+    req.spec_text = write_stg(stg);
+    req.mode = FlowMode::kSpeedIndependent;
+    items.push_back(std::move(req));
+  }
+  return items;
+}
+
+TEST_F(ServeTest, BatchVerbStreamsRecordsInCorpusOrder) {
+  start_tcp(/*with_cache=*/true);
+  const std::vector<SubmitRequest> items = three_item_corpus();
+
+  const BatchSubmitResult first = serve_submit_batch(tcp(), items);
+  ASSERT_TRUE(first.protocol_ok) << first.error;
+  ASSERT_EQ(first.records.size(), items.size());
+  ASSERT_EQ(first.cache_statuses.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(first.records[i], reference_record(items[i]))
+        << items[i].name << ": batch-verb bytes == rtflow_cli batch bytes";
+    EXPECT_EQ(first.cache_statuses[i], "miss");
+  }
+
+  // The same corpus again: all hits, byte-identical records.
+  const BatchSubmitResult again = serve_submit_batch(tcp(), items);
+  ASSERT_TRUE(again.protocol_ok) << again.error;
+  EXPECT_EQ(again.records, first.records);
+  for (const std::string& status : again.cache_statuses)
+    EXPECT_EQ(status, "hit");
+  EXPECT_EQ(service_->stats().requests,
+            2 * static_cast<long long>(items.size()))
+      << "each batch item counts as one request";
+}
+
+TEST_F(ServeTest, EmptyBatchIsAContainedProtocolError) {
+  start_tcp(/*with_cache=*/false);
+  const BatchSubmitResult res = serve_submit_batch(tcp(), {});
+  EXPECT_FALSE(res.protocol_ok);
+  EXPECT_FALSE(res.transport_failure)
+      << "a served error is an answer, not a transport failure";
+  EXPECT_TRUE(res.records.empty());
+  // The daemon survives the malformed batch.
+  EXPECT_EQ(serve_control(tcp(), "ping"), "pong");
+  EXPECT_EQ(service_->stats().protocol_errors, 1);
+}
+
+// --- the metrics surface ----------------------------------------------------
+
+/// Drive an identical workload on a fresh daemon and return its metrics
+/// snapshot. Two calls must agree on SHAPE (instrument names, bucket
+/// bounds, array lengths) and on every deterministic value (counters,
+/// settled gauges, histogram observation counts) — only wall-clock
+/// derived values (sums, per-bucket spreads) may differ.
+std::string metrics_after_identical_workload(const std::string& base) {
+  fs::remove_all(base);
+  fs::create_directories(base);
+  ServeOptions opts;
+  opts.tcp = "127.0.0.1:0";
+  opts.cache_dir = base + "/store";
+  opts.budget.corpus = 2;
+  FlowService svc{std::move(opts)};
+  svc.start();
+  const Endpoint ep = Endpoint::tcp("127.0.0.1", svc.tcp_port());
+
+  const BatchSubmitResult batch = serve_submit_batch(ep, three_item_corpus());
+  EXPECT_TRUE(batch.protocol_ok) << batch.error;
+  const SubmitResult hit = serve_submit(ep, [] {
+    SubmitRequest req = three_item_corpus()[1];  // celement again: a hit
+    return req;
+  }());
+  EXPECT_TRUE(hit.protocol_ok) << hit.error;
+  EXPECT_EQ(hit.cache_status, "hit");
+
+  const std::string json = serve_metrics(ep);
+  svc.stop();
+  fs::remove_all(base);
+  return json;
+}
+
+TEST(ServeMetrics, SchemaAndDeterministicValuesAreStableAcrossRuns) {
+  const std::string base =
+      (fs::temp_directory_path() /
+       (std::string("rtsv_metrics_") + std::to_string(::getpid())))
+          .string();
+  const Json a = parse_json(metrics_after_identical_workload(base + "_a"),
+                            "metrics a");
+  const Json b = parse_json(metrics_after_identical_workload(base + "_b"),
+                            "metrics b");
+
+  EXPECT_EQ(json_require_int(a, "schema", "metrics"), 1);
+  EXPECT_EQ(json_require_string(a, "kind", "metrics"), "metrics");
+
+  // Counters are pure event counts of a deterministic workload: names
+  // AND values must match between the two runs.
+  const Json& ca = json_require(a, "counters", "metrics");
+  const Json& cb = json_require(b, "counters", "metrics");
+  ASSERT_EQ(ca.obj.size(), cb.obj.size());
+  for (std::size_t i = 0; i < ca.obj.size(); ++i) {
+    EXPECT_EQ(ca.obj[i].first, cb.obj[i].first);
+    EXPECT_EQ(ca.obj[i].second.number, cb.obj[i].second.number)
+        << "counter " << ca.obj[i].first;
+  }
+  EXPECT_GT(json_require_int(ca, "serve.submit_total", "metrics"), 0);
+  EXPECT_GT(json_require_int(ca, "serve.batch_total", "metrics"), 0);
+  EXPECT_GT(json_require_int(ca, "serve.cache_hit_total", "metrics"), 0);
+
+  // Gauges have settled (no active flows) by snapshot time.
+  const Json& ga = json_require(a, "gauges", "metrics");
+  EXPECT_EQ(json_require_int(ga, "serve.active_flows", "metrics"), 0);
+
+  // Histograms: same names, the one fixed bucket ladder, 18 counts, and
+  // the same number of observations; sums are wall clock and may differ.
+  const Json& ha = json_require(a, "histograms", "metrics");
+  const Json& hb = json_require(b, "histograms", "metrics");
+  ASSERT_EQ(ha.obj.size(), hb.obj.size());
+  ASSERT_FALSE(ha.obj.empty());
+  bool saw_stage_histogram = false;
+  for (std::size_t i = 0; i < ha.obj.size(); ++i) {
+    const std::string& name = ha.obj[i].first;
+    EXPECT_EQ(name, hb.obj[i].first);
+    const Json& ea = ha.obj[i].second;
+    const Json& eb = hb.obj[i].second;
+    const Json& bounds = json_require(ea, "bounds_us", "metrics");
+    ASSERT_EQ(bounds.arr.size(), Histogram::bucket_bounds_us().size());
+    for (std::size_t k = 0; k < bounds.arr.size(); ++k)
+      EXPECT_EQ(static_cast<long long>(bounds.arr[k].number),
+                Histogram::bucket_bounds_us()[k]);
+    EXPECT_EQ(json_require(ea, "counts", "metrics").arr.size(),
+              bounds.arr.size() + 1);
+    EXPECT_EQ(json_require_int(ea, "count", "metrics"),
+              json_require_int(eb, "count", "metrics"))
+        << "observation count of " << name;
+    if (name.rfind("stage_us.", 0) == 0) saw_stage_histogram = true;
+  }
+  EXPECT_TRUE(saw_stage_histogram)
+      << "per-stage latency histograms exist after a batch-verb corpus";
+}
+
+TEST_F(ServeTest, ExtendedStatsKeepsTheLegacyFirstLine) {
+  start_tcp(/*with_cache=*/true);
+  const SubmitResult res = serve_submit(tcp(), celement_request());
+  ASSERT_TRUE(res.protocol_ok) << res.error;
+
+  // serve_control reads only the first response line — the legacy
+  // summary — so older clients keep working; the framed JSON rides
+  // behind it for serve_metrics.
+  const std::string first = serve_control(tcp(), "stats");
+  EXPECT_NE(first.find("stats requests=1"), std::string::npos) << first;
+  EXPECT_NE(first.find("evicted=0"), std::string::npos) << first;
+
+  const Json snapshot = parse_json(serve_metrics(tcp()), "metrics");
+  const Json& counters = json_require(snapshot, "counters", "metrics");
+  EXPECT_EQ(json_require_int(counters, "serve.submit_total", "metrics"), 1);
 }
 
 TEST(Serve, StartRefusesALiveSocketAndReplacesAStaleOne) {

@@ -45,6 +45,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "flow/flow.hpp"
@@ -67,9 +68,12 @@ const char* const kGlobalUsage =
     "  sweep         fan ONE spec out over fault/delay/environment variants\n"
     "  merge         reassemble N shard files (batch or sweep) into JSON\n"
     "  drive         launch N shard worker processes, retry crashes, merge\n"
-    "  serve         long-running daemon: submissions over a local socket\n"
-    "  submit        send one .g specification to a serve daemon\n"
-    "  cache         inspect the content-addressed result store\n"
+    "  serve         long-running daemon: submissions over a Unix socket\n"
+    "                and/or a TCP endpoint\n"
+    "  submit        send specifications to a serve daemon (one, or a\n"
+    "                whole corpus via the streamed batch verb)\n"
+    "  metrics       fetch a serve daemon's metrics snapshot as JSON\n"
+    "  cache         inspect or prune the content-addressed result store\n"
     "  list          print the corpus item names\n"
     "  list-stages   print the canonical flow stage names (--to targets)\n"
     "  export-specs  write the built-in builder specs as .g files\n"
@@ -255,20 +259,29 @@ void print_command_usage(std::FILE* to, const char* argv0,
   } else if (cmd == "serve") {
     std::fprintf(
         to,
-        "usage: %s serve --socket PATH [options]\n"
+        "usage: %s serve --socket PATH|--tcp HOST:PORT [options]\n"
         "\n"
-        "Flow-as-a-service: bind a Unix-domain socket, accept submissions\n"
+        "Flow-as-a-service: listen on a Unix-domain socket and/or a TCP\n"
+        "endpoint (the SAME line protocol over both), accept submissions\n"
         "(see `submit`), schedule at most the corpus thread budget\n"
         "concurrently, stream per-stage progress, honor per-request\n"
-        "deadlines, consult/populate the result store. Runs until a\n"
-        "client's `shutdown` verb or SIGINT/SIGTERM. Protocol spec:\n"
-        "docs/CLI.md.\n"
+        "deadlines, consult/populate the result store, and keep a metrics\n"
+        "registry (see `metrics`). Runs until a client's `shutdown` verb\n"
+        "or SIGINT/SIGTERM. Protocol spec: docs/CLI.md.\n"
         "\n"
-        "  --socket PATH        listening socket path (required). A stale\n"
-        "                       socket file is replaced; a live daemon on\n"
-        "                       PATH is an error\n"
+        "  --socket PATH        Unix listening socket path. A stale socket\n"
+        "                       file is replaced; a live daemon on PATH is\n"
+        "                       an error\n"
+        "  --tcp HOST:PORT      TCP listening endpoint (port 0 picks an\n"
+        "                       ephemeral port, printed on stderr). May be\n"
+        "                       combined with --socket; at least one of\n"
+        "                       the two is required. A bind failure is a\n"
+        "                       clean error (exit 1), never an abort\n"
         "  --cache DIR          serve hits from / store results into DIR\n"
         "                       (default: no memoization)\n"
+        "  --cache-max-bytes N  LRU-prune the store back under N bytes\n"
+        "                       after each store (requires --cache; the\n"
+        "                       just-written entry is never evicted)\n"
         "  --threads N          max concurrently running submissions\n"
         "  --sg-threads N       graph-level workers per submission\n"
         "  --csc-threads N      candidate-level workers per submission\n"
@@ -277,35 +290,67 @@ void print_command_usage(std::FILE* to, const char* argv0,
   } else if (cmd == "submit") {
     std::fprintf(
         to,
-        "usage: %s submit --socket PATH --spec FILE.g [options]\n"
+        "usage: %s submit --socket PATH|--connect HOST:PORT\n"
+        "                 --spec FILE.g... [options]\n"
         "\n"
-        "Send one specification to a running serve daemon and print the\n"
-        "canonical one-item batch JSON — byte-identical to `run` with the\n"
-        "same spec and flags, whether the daemon answered from its cache\n"
-        "or ran the flow.\n"
+        "Send specifications to a running serve daemon and print the\n"
+        "canonical batch JSON. One --spec: byte-identical to `run` with\n"
+        "the same spec and flags. Several --spec flags (or --corpus\n"
+        "builtin): the whole set streams through the daemon's `batch`\n"
+        "verb on one connection, one record per item in corpus order —\n"
+        "byte-identical to `batch` over the same corpus.\n"
         "\n"
-        "  --socket PATH        the daemon's socket (required)\n"
-        "  --spec FILE.g        the specification file (required)\n"
-        "  --name NAME          item name in the record (default: the\n"
-        "                       --spec path, matching `run`)\n"
+        "  --socket PATH        the daemon's Unix socket\n"
+        "  --connect HOST:PORT  the daemon's TCP endpoint (exactly one of\n"
+        "                       --socket/--connect)\n"
+        "  --spec FILE.g        specification file (repeatable)\n"
+        "  --corpus builtin     submit every built-in specification\n"
+        "  --pipeline-stages N  largest built-in pipeline (default 6)\n"
+        "  --name NAME          item name in the record (single submit\n"
+        "                       only; default: the --spec path)\n"
         "  --mode si|rt         synthesis mode (default rt)\n"
         "  --max-states N       reachability cap (default 2^20)\n"
         "  --to STAGE           run through STAGE and stop\n"
         "  --deadline-ms N      per-request deadline, enforced server-side\n"
         "  --no-cache           ask the daemon to bypass its store\n"
+        "  --retries N          retry transport failures (connection\n"
+        "                       refused, mid-stream disconnect) up to N\n"
+        "                       times with exponential backoff (default 3;\n"
+        "                       a served error is an answer, not retried)\n"
         "  --trace              print streamed stage progress to stderr\n"
+        "  --out FILE           write JSON to FILE instead of stdout\n"
+        "  --help               this text\n",
+        argv0);
+  } else if (cmd == "metrics") {
+    std::fprintf(
+        to,
+        "usage: %s metrics --socket PATH|--connect HOST:PORT [options]\n"
+        "\n"
+        "Fetch a serve daemon's metrics snapshot and print it as one line\n"
+        "of JSON: counters, gauges, and fixed-bucket latency histograms\n"
+        "(per flow stage and per request). The schema is deterministic —\n"
+        "only observed values vary between runs; the normative table is\n"
+        "in docs/CLI.md.\n"
+        "\n"
+        "  --socket PATH        the daemon's Unix socket\n"
+        "  --connect HOST:PORT  the daemon's TCP endpoint (exactly one of\n"
+        "                       --socket/--connect)\n"
         "  --out FILE           write JSON to FILE instead of stdout\n"
         "  --help               this text\n",
         argv0);
   } else if (cmd == "cache") {
     std::fprintf(
         to,
-        "usage: %s cache stats|clear|key [options]\n"
+        "usage: %s cache stats|clear|prune|key [options]\n"
         "\n"
-        "Inspect the content-addressed result store.\n"
+        "Inspect or prune the content-addressed result store.\n"
         "\n"
         "  stats --cache DIR    entry count and total bytes\n"
         "  clear --cache DIR    delete every entry (prints how many)\n"
+        "  prune --cache DIR --max-bytes N\n"
+        "                       evict least-recently-used entries until\n"
+        "                       the store fits in N bytes (recency = last\n"
+        "                       store or cache hit; deterministic order)\n"
         "  key --spec FILE.g [--mode si|rt] [--max-states N] [--to STAGE]\n"
         "                       print the cache key those flags address —\n"
         "                       the normative key definition is in\n"
@@ -404,9 +449,14 @@ struct CliOptions {
   std::vector<std::string> positional;  // merge's shard files
   std::string cache_dir;     // run/batch/serve: result store
   bool resume = false;       // shard: reuse + checkpoint --out
-  std::string socket_path;   // serve/submit
+  std::string socket_path;   // serve/submit/metrics
+  std::string tcp;           // serve: TCP listen endpoint HOST:PORT
+  std::string connect;       // submit/metrics: TCP daemon HOST:PORT
+  int retries = 3;           // submit: transport-failure retry budget
   std::string submit_name;   // submit: record name override
   bool no_cache = false;     // submit: bypass the daemon's store
+  long long max_bytes = -1;        // cache prune: target store size
+  long long cache_max_bytes = -1;  // serve: post-store LRU cap
   int sweep_delay_variants = 96;   // sweep: delay-grid samples
   int sweep_env_variants = 64;     // sweep: environment phase samples
   unsigned long long sweep_seed = 1;  // sweep: grid sampler seed
@@ -555,6 +605,52 @@ bool parse_common_flag(int argc, char** argv, int* i, CliOptions* o,
   } else if (!std::strcmp(arg, "--socket")) {
     const char* val = need_value();
     if (val) o->socket_path = val;
+  } else if (!std::strcmp(arg, "--tcp")) {
+    const char* val = need_value();
+    if (!val) return true;
+    try {
+      parse_tcp_endpoint(val);  // malformed HOST:PORT is a usage error
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      *usage_error = true;
+      return true;
+    }
+    o->tcp = val;
+  } else if (!std::strcmp(arg, "--connect")) {
+    const char* val = need_value();
+    if (!val) return true;
+    try {
+      parse_tcp_endpoint(val);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      *usage_error = true;
+      return true;
+    }
+    o->connect = val;
+  } else if (!std::strcmp(arg, "--retries")) {
+    const char* val = need_value();
+    if (!val) return true;
+    char* end = nullptr;
+    const long n = std::strtol(val, &end, 10);
+    if (end == val || *end != '\0' || n < 0) {
+      std::fprintf(stderr, "%s: --retries must be a number >= 0\n", argv[0]);
+      *usage_error = true;
+      return true;
+    }
+    o->retries = static_cast<int>(n);
+  } else if (!std::strcmp(arg, "--max-bytes") ||
+             !std::strcmp(arg, "--cache-max-bytes")) {
+    const bool is_cap = !std::strcmp(arg, "--cache-max-bytes");
+    const char* val = need_value();
+    if (!val) return true;
+    char* end = nullptr;
+    const long long n = std::strtoll(val, &end, 10);
+    if (end == val || *end != '\0' || n < 0) {
+      std::fprintf(stderr, "%s: %s must be a number >= 0\n", argv[0], arg);
+      *usage_error = true;
+      return true;
+    }
+    (is_cap ? o->cache_max_bytes : o->max_bytes) = n;
   } else if (!std::strcmp(arg, "--name")) {
     const char* val = need_value();
     if (val) o->submit_name = val;
@@ -1208,49 +1304,186 @@ void on_stop_signal(int) { g_stop_signal = 1; }
 int cmd_serve(int argc, char** argv) {
   const CliOptions o = parse_or_exit(
       argc, argv, "serve",
-      {"--socket", "--cache", "--threads", "--sg-threads", "--csc-threads"},
+      {"--socket", "--tcp", "--cache", "--cache-max-bytes", "--threads",
+       "--sg-threads", "--csc-threads"},
       /*accept_positional=*/false);
-  if (o.socket_path.empty()) {
-    std::fprintf(stderr, "%s serve: --socket PATH is required\n", argv[0]);
+  if (o.socket_path.empty() && o.tcp.empty()) {
+    std::fprintf(stderr, "%s serve: --socket PATH or --tcp HOST:PORT is "
+                 "required\n", argv[0]);
     print_command_usage(stderr, argv[0], "serve");
+    return 2;
+  }
+  if (o.cache_max_bytes >= 0 && o.cache_dir.empty()) {
+    std::fprintf(stderr, "%s serve: --cache-max-bytes requires --cache DIR\n",
+                 argv[0]);
     return 2;
   }
   ServeOptions so;
   so.socket_path = o.socket_path;
+  so.tcp = o.tcp;
   so.budget = o.budget;
   so.cache_dir = o.cache_dir;
+  if (o.cache_max_bytes >= 0)
+    so.cache_max_bytes = static_cast<std::uintmax_t>(o.cache_max_bytes);
   FlowService service(std::move(so));
   try {
     service.start();
   } catch (const Error& e) {
+    // Bind failures — socket path held by a live daemon, TCP port in
+    // use or privileged — are clean recoverable errors by contract.
     std::fprintf(stderr, "%s serve: %s\n", argv[0], e.what());
     return 1;
   }
   std::signal(SIGINT, on_stop_signal);
   std::signal(SIGTERM, on_stop_signal);
-  std::fprintf(stderr, "serving on %s%s%s\n", o.socket_path.c_str(),
-               o.cache_dir.empty() ? " (no cache)" : ", cache at ",
-               o.cache_dir.c_str());
+  if (!o.socket_path.empty())
+    std::fprintf(stderr, "serving on %s%s%s\n", o.socket_path.c_str(),
+                 o.cache_dir.empty() ? " (no cache)" : ", cache at ",
+                 o.cache_dir.c_str());
+  if (!o.tcp.empty())
+    std::fprintf(stderr, "serving on tcp:%s (port %d)%s%s\n", o.tcp.c_str(),
+                 service.tcp_port(),
+                 o.cache_dir.empty() ? " (no cache)" : ", cache at ",
+                 o.cache_dir.c_str());
   service.wait([] { return g_stop_signal == 0; });
   const ServeStats st = service.stats();
   std::fprintf(stderr,
                "served %lld requests (%lld hits, %lld misses, "
-               "%lld cancelled, %lld protocol errors)\n",
+               "%lld cancelled, %lld protocol errors, %lld evicted)\n",
                st.requests, st.cache_hits, st.cache_misses, st.cancelled,
-               st.protocol_errors);
+               st.protocol_errors, st.evicted);
   return 0;
+}
+
+/// Resolve the daemon endpoint from --socket / --connect (exactly one).
+/// Returns nullopt after printing the usage error.
+std::optional<Endpoint> client_endpoint(const char* argv0,
+                                        const std::string& cmd,
+                                        const CliOptions& o) {
+  if (o.socket_path.empty() == o.connect.empty()) {
+    std::fprintf(stderr,
+                 "%s %s: exactly one of --socket PATH or --connect "
+                 "HOST:PORT is required\n",
+                 argv0, cmd.c_str());
+    print_command_usage(stderr, argv0, cmd);
+    return std::nullopt;
+  }
+  if (!o.connect.empty()) return parse_tcp_endpoint(o.connect);
+  return Endpoint::unix_path(o.socket_path);
+}
+
+/// Bounded retry driver for the submit client: run `attempt` until it
+/// reports success or a non-transport failure, retrying transport
+/// failures (connection refused, mid-stream disconnect) up to `retries`
+/// times with exponential backoff (100/200/400... ms), one clear stderr
+/// line per failed attempt. A served protocol error is an ANSWER — it is
+/// never retried.
+template <typename Result>
+Result submit_with_retries(
+    const char* argv0, int retries,
+    const std::function<Result()>& attempt) {
+  Result res;
+  for (int tries = 0;; ++tries) {
+    res = attempt();
+    if (res.protocol_ok || !res.transport_failure || tries >= retries)
+      return res;
+    const long backoff_ms = 100L << std::min(tries, 20);
+    std::fprintf(stderr,
+                 "%s submit: attempt %d/%d failed: %s; retrying in %ldms\n",
+                 argv0, tries + 1, retries + 1, res.error.c_str(),
+                 backoff_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  }
+}
+
+/// submit with a multi-spec corpus: stream the whole set through the
+/// `batch` verb on one connection and reassemble the canonical batch
+/// envelope — byte-identical to `rtflow_cli batch` over the same corpus.
+/// Items that failed to LOAD locally never reach the wire: their records
+/// render here, exactly as batch would (load diagnostics are a local
+/// fact; the server never saw the file).
+int submit_batch(const char* argv0, const CliOptions& o,
+                 const Endpoint& endpoint) {
+  const std::vector<BatchSpec> corpus = build_corpus(o);
+  std::vector<SubmitRequest> wire_items;
+  std::vector<std::size_t> wire_to_corpus;
+  BatchResult result;
+  result.items.resize(corpus.size());
+  FlowContext local_ctx;  // only renders load-error diagnostics
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const BatchSpec& item = corpus[i];
+    if (item.load_error) {
+      result.items[i] = run_batch_item(item, local_ctx);
+      continue;
+    }
+    SubmitRequest req;
+    req.name = item.name;
+    req.spec_text = write_stg(item.spec);
+    req.mode = item.opts.mode;
+    req.max_states = item.opts.sg.max_states;
+    req.stop_after = item.opts.stop_after;
+    wire_items.push_back(std::move(req));
+    wire_to_corpus.push_back(i);
+  }
+
+  BatchSubmitOptions bo;
+  bo.use_cache = !o.no_cache;
+  bo.deadline_ms = o.deadline_ms;
+  BatchSubmitResult res;
+  if (!wire_items.empty()) {
+    res = submit_with_retries<BatchSubmitResult>(
+        argv0, o.retries, [&]() -> BatchSubmitResult {
+          return serve_submit_batch(
+              endpoint, wire_items, bo, [&](const std::string& line) {
+                if (o.trace && starts_with(line, "item "))
+                  std::fprintf(stderr, "%s\n", line.c_str());
+              });
+        });
+    if (!res.protocol_ok) {
+      std::fprintf(stderr, "%s submit: %s\n", argv0, res.error.c_str());
+      return 1;
+    }
+    if (res.records.size() != wire_items.size()) {
+      std::fprintf(stderr,
+                   "%s submit: server streamed %zu records for %zu items\n",
+                   argv0, res.records.size(), wire_items.size());
+      return 1;
+    }
+    for (std::size_t w = 0; w < res.records.size(); ++w) {
+      try {
+        result.items[wire_to_corpus[w]] =
+            parse_item_record_json(res.records[w]);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "%s submit: malformed record from server: %s\n",
+                     argv0, e.what());
+        return 1;
+      }
+    }
+  }
+  for (const BatchItemResult& item : result.items)
+    (item.ok ? result.ok_count : result.failed_count) += 1;
+  if (!write_output(argv0, o.out_path, to_json(result))) return 1;
+  return result.failed_count == 0 ? 0 : 1;
 }
 
 int cmd_submit(int argc, char** argv) {
   const CliOptions o = parse_or_exit(
       argc, argv, "submit",
-      {"--socket", "--spec", "--name", "--mode", "--max-states", "--to",
+      {"--socket", "--connect", "--retries", "--spec", "--corpus",
+       "--pipeline-stages", "--name", "--mode", "--max-states", "--to",
        "--deadline-ms", "--no-cache", "--trace", "--out"},
       /*accept_positional=*/false);
-  if (o.socket_path.empty() || o.spec_files.size() != 1) {
+  const std::optional<Endpoint> endpoint =
+      client_endpoint(argv[0], "submit", o);
+  if (!endpoint) return 2;
+  // Multiple --spec files (or --corpus builtin) go through the `batch`
+  // verb: one connection, one record streamed per item in corpus order.
+  if (o.use_builtin || o.spec_files.size() > 1)
+    return submit_batch(argv[0], o, *endpoint);
+  if (o.spec_files.size() != 1) {
     std::fprintf(stderr,
-                 "%s submit: --socket PATH and exactly one --spec FILE.g "
-                 "are required\n",
+                 "%s submit: --spec FILE.g (or --corpus builtin) is "
+                 "required\n",
                  argv[0]);
     print_command_usage(stderr, argv[0], "submit");
     return 2;
@@ -1274,17 +1507,14 @@ int cmd_submit(int argc, char** argv) {
   req.deadline_ms = o.deadline_ms;
   req.use_cache = !o.no_cache;
 
-  SubmitResult res;
-  try {
-    res = serve_submit(o.socket_path, req, [&](const std::string& line) {
-      if (o.trace && (starts_with(line, "stage ") ||
-                      starts_with(line, "cache ")))
-        std::fprintf(stderr, "%s\n", line.c_str());
-    });
-  } catch (const Error& e) {
-    std::fprintf(stderr, "%s submit: %s\n", argv[0], e.what());
-    return 1;
-  }
+  const SubmitResult res = submit_with_retries<SubmitResult>(
+      argv[0], o.retries, [&]() -> SubmitResult {
+        return serve_submit(*endpoint, req, [&](const std::string& line) {
+          if (o.trace && (starts_with(line, "stage ") ||
+                          starts_with(line, "cache ")))
+            std::fprintf(stderr, "%s\n", line.c_str());
+        });
+      });
   if (!res.protocol_ok) {
     std::fprintf(stderr, "%s submit: %s\n", argv[0], res.error.c_str());
     return 1;
@@ -1305,20 +1535,39 @@ int cmd_submit(int argc, char** argv) {
   return result.failed_count == 0 ? 0 : 1;
 }
 
+int cmd_metrics(int argc, char** argv) {
+  const CliOptions o = parse_or_exit(argc, argv, "metrics",
+                                     {"--socket", "--connect", "--out"},
+                                     /*accept_positional=*/false);
+  const std::optional<Endpoint> endpoint =
+      client_endpoint(argv[0], "metrics", o);
+  if (!endpoint) return 2;
+  std::string json;
+  try {
+    json = serve_metrics(*endpoint);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s metrics: %s\n", argv[0], e.what());
+    return 1;
+  }
+  if (!write_output(argv[0], o.out_path, json + "\n")) return 1;
+  return 0;
+}
+
 int cmd_cache(int argc, char** argv) {
   const CliOptions o = parse_or_exit(
       argc, argv, "cache",
-      {"--cache", "--spec", "--mode", "--max-states", "--to"},
+      {"--cache", "--max-bytes", "--spec", "--mode", "--max-states", "--to"},
       /*accept_positional=*/true);
   if (o.positional.size() != 1) {
-    std::fprintf(stderr, "%s cache: one of stats|clear|key is required\n",
+    std::fprintf(stderr,
+                 "%s cache: one of stats|clear|prune|key is required\n",
                  argv[0]);
     print_command_usage(stderr, argv[0], "cache");
     return 2;
   }
   const std::string& verb = o.positional[0];
   try {
-    if (verb == "stats" || verb == "clear") {
+    if (verb == "stats" || verb == "clear" || verb == "prune") {
       if (o.cache_dir.empty()) {
         std::fprintf(stderr, "%s cache %s: --cache DIR is required\n",
                      argv[0], verb.c_str());
@@ -1329,6 +1578,18 @@ int cmd_cache(int argc, char** argv) {
         const ResultCache::DirStats st = cache.scan();
         std::printf("%zu entries, %ju bytes\n", st.entries,
                     static_cast<std::uintmax_t>(st.bytes));
+      } else if (verb == "prune") {
+        if (o.max_bytes < 0) {
+          std::fprintf(stderr, "%s cache prune: --max-bytes N is required\n",
+                       argv[0]);
+          return 2;
+        }
+        const ResultCache::PruneStats st =
+            cache.prune(static_cast<std::uintmax_t>(o.max_bytes));
+        std::printf("%zu of %zu entries evicted, %ju -> %ju bytes\n",
+                    st.evicted, st.scanned,
+                    static_cast<std::uintmax_t>(st.bytes_before),
+                    static_cast<std::uintmax_t>(st.bytes_after));
       } else {
         std::printf("%zu entries removed\n", cache.clear());
       }
@@ -1500,6 +1761,7 @@ int main(int argc, char** argv) {
   if (cmd == "drive") return cmd_drive(argc, argv);
   if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "submit") return cmd_submit(argc, argv);
+  if (cmd == "metrics") return cmd_metrics(argc, argv);
   if (cmd == "cache") return cmd_cache(argc, argv);
   if (cmd == "list") return cmd_list(argc, argv);
   if (cmd == "list-stages") return cmd_list_stages(argc, argv);
